@@ -1,0 +1,66 @@
+// E4 -- variant ablation across the full machine set (extension of the
+// paper's Section 3 variant comparison): uZOLC vs ZOLClite vs ZOLCfull on
+// every benchmark, highlighting where each capability pays:
+//   * uZOLC: one hot innermost loop;
+//   * ZOLClite: whole nests, but multi-exit loops fall back to software;
+//   * ZOLCfull: multi-exit loops stay in hardware (candidate-exit records).
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace zolcsim;
+  using codegen::MachineKind;
+
+  std::printf("E4: ZOLC variant ablation (cycle reduction vs XRdefault)\n\n");
+
+  TextTable table({"benchmark", "XRdefault", "uZOLC", "ZOLClite", "ZOLCfull",
+                   "uZOLC red.", "lite red.", "full red.", "hw loops u/l/f"});
+  CsvWriter csv({"benchmark", "xrdefault", "uzolc", "zolclite", "zolcfull",
+                 "uzolc_reduction", "lite_reduction", "full_reduction"});
+
+  for (const auto& kernel : kernels::kernel_registry()) {
+    std::uint64_t cycles[4] = {};
+    unsigned hw[4] = {};
+    const MachineKind machines[4] = {MachineKind::kXrDefault,
+                                     MachineKind::kUZolc,
+                                     MachineKind::kZolcLite,
+                                     MachineKind::kZolcFull};
+    for (int i = 0; i < 4; ++i) {
+      const auto result = harness::run_experiment(*kernel, machines[i]);
+      if (!result.ok()) {
+        std::fprintf(stderr, "FAILED: %s\n", result.error().message.c_str());
+        return 1;
+      }
+      cycles[i] = result.value().stats.cycles;
+      hw[i] = result.value().hw_loops;
+    }
+    const double red_u = harness::percent_reduction(cycles[0], cycles[1]);
+    const double red_l = harness::percent_reduction(cycles[0], cycles[2]);
+    const double red_f = harness::percent_reduction(cycles[0], cycles[3]);
+    table.add_row({std::string(kernel->name()), std::to_string(cycles[0]),
+                   std::to_string(cycles[1]), std::to_string(cycles[2]),
+                   std::to_string(cycles[3]), format_fixed(red_u, 1) + "%",
+                   format_fixed(red_l, 1) + "%", format_fixed(red_f, 1) + "%",
+                   std::to_string(hw[1]) + "/" + std::to_string(hw[2]) + "/" +
+                       std::to_string(hw[3])});
+    csv.add_row({std::string(kernel->name()), std::to_string(cycles[0]),
+                 std::to_string(cycles[1]), std::to_string(cycles[2]),
+                 std::to_string(cycles[3]), format_fixed(red_u, 2),
+                 format_fixed(red_l, 2), format_fixed(red_f, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "expected shape: full >= lite >= micro on nests; on multi-exit kernels\n"
+      "(me_tss) lite degrades to near-baseline while full keeps the whole\n"
+      "structure in hardware -- the paper's motivation for multiple-exit\n"
+      "support.\n");
+  if (csv.write_file("ablation_variants.csv")) {
+    std::printf("(csv written to ablation_variants.csv)\n");
+  }
+  return 0;
+}

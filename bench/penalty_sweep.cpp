@@ -1,0 +1,79 @@
+// E5 -- methodology ablation: how sensitive are the Figure 2 savings to the
+// modelled branch micro-architecture? Sweeps the branch-resolution stage
+// (EX: 2-cycle taken penalty, the default; ID: 1-cycle early branch) and the
+// ZOLC speculation policy (rollback vs conservative fetch gating), reporting
+// the suite-average ZOLClite cycle reduction for each point.
+#include <cstdio>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace zolcsim;
+  using codegen::MachineKind;
+  using cpu::BranchResolveStage;
+  using cpu::PipelineConfig;
+  using cpu::SpeculationPolicy;
+
+  std::printf("E5: sensitivity of ZOLC gains to branch handling\n\n");
+
+  const struct {
+    const char* name;
+    PipelineConfig config;
+  } points[] = {
+      {"EX-resolve + rollback (default)",
+       {BranchResolveStage::kExecute, SpeculationPolicy::kRollback, true}},
+      {"EX-resolve + fetch gating",
+       {BranchResolveStage::kExecute, SpeculationPolicy::kGate, true}},
+      {"ID-resolve + rollback",
+       {BranchResolveStage::kDecode, SpeculationPolicy::kRollback, true}},
+      {"ID-resolve + fetch gating",
+       {BranchResolveStage::kDecode, SpeculationPolicy::kGate, true}},
+  };
+
+  TextTable table({"configuration", "avg ZOLC reduction", "max ZOLC reduction",
+                   "avg hrdwil reduction", "gate stalls (suite)"});
+  for (const auto& point : points) {
+    double zolc_sum = 0.0, zolc_max = 0.0, hrdwil_sum = 0.0;
+    std::uint64_t gate_stalls = 0;
+    unsigned count = 0;
+    for (const auto& kernel : kernels::kernel_registry()) {
+      const auto base = harness::run_experiment(
+          *kernel, MachineKind::kXrDefault, {}, point.config);
+      const auto hrdwil = harness::run_experiment(
+          *kernel, MachineKind::kXrHrdwil, {}, point.config);
+      const auto zolc = harness::run_experiment(
+          *kernel, MachineKind::kZolcLite, {}, point.config);
+      if (!base.ok() || !hrdwil.ok() || !zolc.ok()) {
+        std::fprintf(stderr, "FAILED on %s\n",
+                     std::string(kernel->name()).c_str());
+        return 1;
+      }
+      const double red_z = harness::percent_reduction(
+          base.value().stats.cycles, zolc.value().stats.cycles);
+      zolc_sum += red_z;
+      zolc_max = std::max(zolc_max, red_z);
+      hrdwil_sum += harness::percent_reduction(base.value().stats.cycles,
+                                               hrdwil.value().stats.cycles);
+      gate_stalls += zolc.value().stats.gate_stalls;
+      ++count;
+    }
+    const double n = count;
+    table.add_row({point.name, format_fixed(zolc_sum / n, 1) + "%",
+                   format_fixed(zolc_max, 1) + "%",
+                   format_fixed(hrdwil_sum / n, 1) + "%",
+                   std::to_string(gate_stalls)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: the ZOLC gain is robust across branch handling. Early (ID)\n"
+      "resolution halves the flush penalty but adds an operand interlock on\n"
+      "back-edges that depend on the index update they follow, so XRdefault\n"
+      "gains little while dbne (whose counter is written a full body\n"
+      "earlier) benefits -- hrdwil's average roughly doubles. Fetch gating\n"
+      "trades the rollback hardware for a handful of stall cycles with no\n"
+      "architectural difference.\n");
+  return 0;
+}

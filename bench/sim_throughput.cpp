@@ -1,0 +1,92 @@
+// E6 -- engineering microbenchmark (google-benchmark): simulator throughput
+// in simulated cycles per second for the cycle-accurate pipeline, with and
+// without a ZOLC controller attached, and ISS instruction throughput.
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hpp"
+#include "cpu/iss.hpp"
+
+#include <map>
+
+namespace {
+
+using namespace zolcsim;
+using codegen::MachineKind;
+
+const codegen::Program& program_for(MachineKind machine) {
+  static const auto* cache = new std::map<MachineKind, codegen::Program>();
+  auto* mutable_cache = const_cast<std::map<MachineKind, codegen::Program>*>(cache);
+  auto it = mutable_cache->find(machine);
+  if (it == mutable_cache->end()) {
+    const auto* kernel = kernels::find_kernel("matmul");
+    auto prog = codegen::lower(kernel->build({}), machine, 0x1000);
+    it = mutable_cache->emplace(machine, std::move(prog).value()).first;
+  }
+  return it->second;
+}
+
+void bench_pipeline(benchmark::State& state, MachineKind machine) {
+  const codegen::Program& prog = program_for(machine);
+  const auto* kernel = kernels::find_kernel("matmul");
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    mem::Memory memory;
+    prog.load_into(memory);
+    kernel->setup({}, memory);
+    std::unique_ptr<zolc::ZolcController> controller;
+    if (const auto variant = codegen::machine_zolc_variant(machine)) {
+      controller = std::make_unique<zolc::ZolcController>(*variant);
+    }
+    cpu::Pipeline pipe(memory);
+    pipe.set_accelerator(controller.get());
+    pipe.set_pc(prog.base);
+    pipe.run(100'000'000);
+    cycles += pipe.stats().cycles;
+    benchmark::DoNotOptimize(pipe.regs());
+  }
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void BM_PipelineBaseline(benchmark::State& state) {
+  bench_pipeline(state, MachineKind::kXrDefault);
+}
+BENCHMARK(BM_PipelineBaseline);
+
+void BM_PipelineWithZolc(benchmark::State& state) {
+  bench_pipeline(state, MachineKind::kZolcLite);
+}
+BENCHMARK(BM_PipelineWithZolc);
+
+void BM_IssBaseline(benchmark::State& state) {
+  const codegen::Program& prog = program_for(MachineKind::kXrDefault);
+  const auto* kernel = kernels::find_kernel("matmul");
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    mem::Memory memory;
+    prog.load_into(memory);
+    kernel->setup({}, memory);
+    cpu::Iss iss(memory);
+    iss.set_pc(prog.base);
+    iss.run(100'000'000);
+    instructions += iss.stats().instructions;
+    benchmark::DoNotOptimize(iss.regs());
+  }
+  state.counters["sim_instrs_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IssBaseline);
+
+void BM_LoweringZolcFull(benchmark::State& state) {
+  const auto* kernel = kernels::find_kernel("me_tss");
+  for (auto _ : state) {
+    auto prog = codegen::lower(kernel->build({}), MachineKind::kZolcFull,
+                               0x1000);
+    benchmark::DoNotOptimize(prog.ok());
+  }
+}
+BENCHMARK(BM_LoweringZolcFull);
+
+}  // namespace
+
+BENCHMARK_MAIN();

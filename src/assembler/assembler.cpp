@@ -1,0 +1,531 @@
+#include "assembler/assembler.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+#include "isa/build.hpp"
+#include "isa/encoding.hpp"
+
+namespace zolcsim::assembler {
+
+namespace {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+constexpr std::uint32_t kDefaultTextBase = 0x0000'1000;
+constexpr std::uint32_t kDefaultDataBase = 0x0010'0000;
+
+struct Statement {
+  int line = 0;
+  std::string label;      ///< empty if none
+  std::string mnemonic;   ///< empty for pure label / directive lines
+  std::string directive;  ///< without the dot, empty if none
+  std::vector<std::string> operands;
+};
+
+/// Splits an operand list on commas, keeping "ofs(base)" together.
+std::vector<std::string> split_operands(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : text) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.emplace_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!trim(current).empty()) out.emplace_back(trim(current));
+  return out;
+}
+
+Result<std::vector<Statement>> parse(std::string_view source) {
+  std::vector<Statement> statements;
+  int line_no = 0;
+  for (std::string_view raw : split(source, '\n')) {
+    ++line_no;
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      const auto pos = raw.find(marker);
+      if (pos != std::string_view::npos) raw = raw.substr(0, pos);
+    }
+    std::string_view text = trim(raw);
+    if (text.empty()) continue;
+
+    Statement st;
+    st.line = line_no;
+    // Label prefix.
+    const auto colon = text.find(':');
+    if (colon != std::string_view::npos &&
+        text.substr(0, colon).find_first_of(" \t") == std::string_view::npos) {
+      st.label = std::string(trim(text.substr(0, colon)));
+      if (st.label.empty()) {
+        return Error{"empty label", line_no};
+      }
+      text = trim(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      const auto space = text.find_first_of(" \t");
+      const std::string_view head =
+          space == std::string_view::npos ? text : text.substr(0, space);
+      const std::string_view rest =
+          space == std::string_view::npos ? "" : trim(text.substr(space));
+      if (head.front() == '.') {
+        st.directive = to_lower(head.substr(1));
+      } else {
+        st.mnemonic = to_lower(head);
+      }
+      st.operands = split_operands(rest);
+    }
+    statements.push_back(std::move(st));
+  }
+  return statements;
+}
+
+class Assembler {
+ public:
+  Result<AsmProgram> run(std::string_view source) {
+    auto parsed = parse(source);
+    if (!parsed.ok()) return parsed.error();
+    statements_ = std::move(parsed).value();
+
+    if (auto r = layout_pass(); !r.ok()) return r.error();
+    if (auto r = encode_pass(); !r.ok()) return r.error();
+    return std::move(program_);
+  }
+
+ private:
+  /// Words a statement occupies (pseudo-ops have fixed sizes so pass 1
+  /// layout is independent of symbol values).
+  Result<std::uint32_t> statement_size(const Statement& st) const {
+    if (!st.directive.empty()) {
+      const auto count = static_cast<std::uint32_t>(st.operands.size());
+      if (st.directive == "word") return count * 4;
+      if (st.directive == "half") return count * 2;
+      if (st.directive == "byte") return count * 1;
+      if (st.directive == "space") {
+        const auto n = parse_int(st.operands.empty() ? "" : st.operands[0]);
+        if (!n || *n < 0) return Error{"bad .space size", st.line};
+        return static_cast<std::uint32_t>(*n);
+      }
+      return 0u;  // org/text/data/align handled in layout
+    }
+    if (st.mnemonic.empty()) return 0u;
+    if (st.mnemonic == "li") return 8u;  // always lui+ori
+    if (st.mnemonic == "nop") return 4u;
+    if (isa::opcode_from_mnemonic(st.mnemonic)) return 4u;
+    return Error{"unknown mnemonic '" + st.mnemonic + "'", st.line};
+  }
+
+  Result<void> layout_pass() {
+    std::uint32_t text_pc = kDefaultTextBase;
+    std::uint32_t data_pc = kDefaultDataBase;
+    bool in_text = true;
+    bool entry_set = false;
+    addresses_.resize(statements_.size());
+
+    for (std::size_t i = 0; i < statements_.size(); ++i) {
+      const Statement& st = statements_[i];
+      std::uint32_t& pc = in_text ? text_pc : data_pc;
+
+      if (st.directive == "text" || st.directive == "data") {
+        in_text = st.directive == "text";
+        std::uint32_t& new_pc = in_text ? text_pc : data_pc;
+        if (!st.operands.empty()) {
+          const auto addr = parse_int(st.operands[0]);
+          if (!addr) return Error{"bad section address", st.line};
+          new_pc = static_cast<std::uint32_t>(*addr);
+        }
+        addresses_[i] = new_pc;
+        if (!st.label.empty()) {
+          if (!define_symbol(st.label, new_pc, st.line)) {
+            return Error{"duplicate label '" + st.label + "'", st.line};
+          }
+        }
+        continue;
+      }
+      if (st.directive == "org") {
+        const auto addr =
+            parse_int(st.operands.empty() ? "" : st.operands[0]);
+        if (!addr) return Error{"bad .org address", st.line};
+        pc = static_cast<std::uint32_t>(*addr);
+      }
+      if (st.directive == "align") {
+        const auto n = parse_int(st.operands.empty() ? "" : st.operands[0]);
+        if (!n || *n <= 0 || (*n & (*n - 1)) != 0) {
+          return Error{"bad .align (need a power of two)", st.line};
+        }
+        pc = align_up(pc, static_cast<std::uint32_t>(*n));
+      }
+
+      addresses_[i] = pc;
+      if (!st.label.empty()) {
+        if (!define_symbol(st.label, pc, st.line)) {
+          return Error{"duplicate label '" + st.label + "'", st.line};
+        }
+      }
+      if (in_text && !st.mnemonic.empty() && !entry_set) {
+        program_.entry = pc;
+        entry_set = true;
+      }
+      if (in_text && !st.mnemonic.empty() && !is_aligned(pc, 4)) {
+        return Error{"instruction at unaligned address", st.line};
+      }
+      auto size = statement_size(st);
+      if (!size.ok()) return size.error();
+      pc += size.value();
+    }
+    if (!entry_set) program_.entry = kDefaultTextBase;
+    return {};
+  }
+
+  bool define_symbol(const std::string& name, std::uint32_t value, int line) {
+    (void)line;
+    return program_.symbols.emplace(name, value).second;
+  }
+
+  Result<std::int64_t> eval(const std::string& token, int line) const {
+    if (const auto number = parse_int(token)) return *number;
+    const auto it = program_.symbols.find(token);
+    if (it != program_.symbols.end()) {
+      return static_cast<std::int64_t>(it->second);
+    }
+    return Error{"undefined symbol '" + token + "'", line};
+  }
+
+  Result<std::uint8_t> reg(const std::string& token, int line) const {
+    const auto r = isa::reg_from_name(token);
+    if (!r) return Error{"bad register '" + token + "'", line};
+    return static_cast<std::uint8_t>(*r);
+  }
+
+  void emit_word(std::uint32_t addr, std::uint32_t word) {
+    if (program_.chunks.empty() ||
+        program_.chunks.back().addr +
+                program_.chunks.back().words.size() * 4 !=
+            addr) {
+      program_.chunks.push_back(AsmProgram::Chunk{addr, {}});
+    }
+    program_.chunks.back().words.push_back(word);
+  }
+
+  Result<void> encode_instruction(const Statement& st, std::uint32_t pc) {
+    namespace b = isa::build;
+    const int line = st.line;
+    const auto need = [&](std::size_t n) -> Result<void> {
+      if (st.operands.size() != n) {
+        return Error{"expected " + std::to_string(n) + " operand(s), got " +
+                         std::to_string(st.operands.size()),
+                     line};
+      }
+      return {};
+    };
+
+    if (st.mnemonic == "nop") {
+      if (auto r = need(0); !r.ok()) return r.error();
+      emit_word(pc, isa::encode(b::nop()));
+      return {};
+    }
+    if (st.mnemonic == "li") {
+      if (auto r = need(2); !r.ok()) return r.error();
+      auto rt = reg(st.operands[0], line);
+      if (!rt.ok()) return rt.error();
+      auto value = eval(st.operands[1], line);
+      if (!value.ok()) return value.error();
+      const auto uv = static_cast<std::uint32_t>(value.value());
+      emit_word(pc, isa::encode(b::lui(rt.value(),
+                                       static_cast<std::int32_t>(uv >> 16))));
+      emit_word(pc + 4,
+                isa::encode(b::ori(rt.value(), rt.value(),
+                                   static_cast<std::int32_t>(uv & 0xFFFFu))));
+      return {};
+    }
+
+    const auto op = isa::opcode_from_mnemonic(st.mnemonic);
+    ZS_ASSERT(op.has_value());  // screened in layout
+    const isa::OpcodeInfo& info = isa::opcode_info(*op);
+    Instruction instr;
+    instr.op = *op;
+
+    const auto branch_offset = [&](const std::string& token)
+        -> Result<std::int32_t> {
+      auto target = eval(token, line);
+      if (!target.ok()) return target.error();
+      const std::int64_t delta =
+          target.value() - (static_cast<std::int64_t>(pc) + 4);
+      if (delta % 4 != 0) return Error{"misaligned branch target", line};
+      const std::int64_t words = delta / 4;
+      if (!fits_signed(words, 16)) {
+        return Error{"branch target out of range", line};
+      }
+      return static_cast<std::int32_t>(words);
+    };
+
+    switch (info.format) {
+      case Format::kR3:
+      case Format::kR3Acc: {
+        if (auto r = need(3); !r.ok()) return r.error();
+        auto rd = reg(st.operands[0], line);
+        auto rs = reg(st.operands[1], line);
+        auto rt = reg(st.operands[2], line);
+        if (!rd.ok()) return rd.error();
+        if (!rs.ok()) return rs.error();
+        if (!rt.ok()) return rt.error();
+        instr.rd = rd.value();
+        instr.rs = rs.value();
+        instr.rt = rt.value();
+        break;
+      }
+      case Format::kRShift: {
+        if (auto r = need(3); !r.ok()) return r.error();
+        auto rd = reg(st.operands[0], line);
+        auto rt = reg(st.operands[1], line);
+        auto sh = eval(st.operands[2], line);
+        if (!rd.ok()) return rd.error();
+        if (!rt.ok()) return rt.error();
+        if (!sh.ok()) return sh.error();
+        if (sh.value() < 0 || sh.value() > 31) {
+          return Error{"shift amount out of range", line};
+        }
+        instr.rd = rd.value();
+        instr.rt = rt.value();
+        instr.shamt = static_cast<std::uint8_t>(sh.value());
+        break;
+      }
+      case Format::kR2: {
+        if (auto r = need(2); !r.ok()) return r.error();
+        auto rd = reg(st.operands[0], line);
+        auto rs = reg(st.operands[1], line);
+        if (!rd.ok()) return rd.error();
+        if (!rs.ok()) return rs.error();
+        instr.rd = rd.value();
+        instr.rs = rs.value();
+        break;
+      }
+      case Format::kR1: {
+        if (auto r = need(1); !r.ok()) return r.error();
+        auto rs = reg(st.operands[0], line);
+        if (!rs.ok()) return rs.error();
+        instr.rs = rs.value();
+        break;
+      }
+      case Format::kI: {
+        if (auto r = need(3); !r.ok()) return r.error();
+        auto rt = reg(st.operands[0], line);
+        auto rs = reg(st.operands[1], line);
+        auto imm = eval(st.operands[2], line);
+        if (!rt.ok()) return rt.error();
+        if (!rs.ok()) return rs.error();
+        if (!imm.ok()) return imm.error();
+        const bool fits = info.imm_is_signed
+                              ? fits_signed(imm.value(), 16)
+                              : fits_unsigned(
+                                    static_cast<std::uint64_t>(imm.value()), 16);
+        if (!fits) return Error{"immediate out of range", line};
+        instr.rt = rt.value();
+        instr.rs = rs.value();
+        instr.imm = static_cast<std::int32_t>(imm.value());
+        break;
+      }
+      case Format::kLui: {
+        if (auto r = need(2); !r.ok()) return r.error();
+        auto rt = reg(st.operands[0], line);
+        auto imm = eval(st.operands[1], line);
+        if (!rt.ok()) return rt.error();
+        if (!imm.ok()) return imm.error();
+        if (!fits_unsigned(static_cast<std::uint64_t>(imm.value()), 16)) {
+          return Error{"immediate out of range", line};
+        }
+        instr.rt = rt.value();
+        instr.imm = static_cast<std::int32_t>(imm.value());
+        break;
+      }
+      case Format::kBranchCmp: {
+        if (auto r = need(3); !r.ok()) return r.error();
+        auto rs = reg(st.operands[0], line);
+        auto rt = reg(st.operands[1], line);
+        if (!rs.ok()) return rs.error();
+        if (!rt.ok()) return rt.error();
+        auto ofs = branch_offset(st.operands[2]);
+        if (!ofs.ok()) return ofs.error();
+        instr.rs = rs.value();
+        instr.rt = rt.value();
+        instr.imm = ofs.value();
+        break;
+      }
+      case Format::kBranchZero: {
+        if (auto r = need(2); !r.ok()) return r.error();
+        auto rs = reg(st.operands[0], line);
+        if (!rs.ok()) return rs.error();
+        auto ofs = branch_offset(st.operands[1]);
+        if (!ofs.ok()) return ofs.error();
+        instr.rs = rs.value();
+        instr.imm = ofs.value();
+        break;
+      }
+      case Format::kMem: {
+        if (auto r = need(2); !r.ok()) return r.error();
+        auto rt = reg(st.operands[0], line);
+        if (!rt.ok()) return rt.error();
+        // "offset(base)"
+        const std::string& addr = st.operands[1];
+        const auto open = addr.find('(');
+        const auto close = addr.rfind(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open) {
+          return Error{"expected offset(base) operand", line};
+        }
+        const std::string ofs_text(trim(addr.substr(0, open)));
+        auto base = reg(std::string(trim(
+                            addr.substr(open + 1, close - open - 1))),
+                        line);
+        if (!base.ok()) return base.error();
+        auto ofs = ofs_text.empty() ? Result<std::int64_t>(0)
+                                    : eval(ofs_text, line);
+        if (!ofs.ok()) return ofs.error();
+        if (!fits_signed(ofs.value(), 16)) {
+          return Error{"memory offset out of range", line};
+        }
+        instr.rt = rt.value();
+        instr.rs = base.value();
+        instr.imm = static_cast<std::int32_t>(ofs.value());
+        break;
+      }
+      case Format::kJump: {
+        if (auto r = need(1); !r.ok()) return r.error();
+        auto target = eval(st.operands[0], line);
+        if (!target.ok()) return target.error();
+        const auto addr = static_cast<std::uint32_t>(target.value());
+        if (!is_aligned(addr, 4)) return Error{"misaligned jump target", line};
+        if (((pc + 4) & 0xF000'0000u) != (addr & 0xF000'0000u)) {
+          return Error{"jump target outside the current 256 MiB region",
+                       line};
+        }
+        instr.target = (addr >> 2) & 0x03FF'FFFFu;
+        break;
+      }
+      case Format::kZolcWrite: {
+        if (auto r = need(2); !r.ok()) return r.error();
+        auto idx = eval(st.operands[0], line);
+        auto rs = reg(st.operands[1], line);
+        if (!idx.ok()) return idx.error();
+        if (!rs.ok()) return rs.error();
+        if (idx.value() < 0 || idx.value() > 255) {
+          return Error{"table index out of range", line};
+        }
+        instr.zidx = static_cast<std::uint8_t>(idx.value());
+        instr.rs = rs.value();
+        break;
+      }
+      case Format::kZolcNone:
+      case Format::kNone:
+        if (auto r = need(0); !r.ok()) return r.error();
+        break;
+    }
+    emit_word(pc, isa::encode(instr));
+    return {};
+  }
+
+  Result<void> encode_pass() {
+    for (std::size_t i = 0; i < statements_.size(); ++i) {
+      const Statement& st = statements_[i];
+      const std::uint32_t pc = addresses_[i];
+      if (!st.mnemonic.empty()) {
+        if (auto r = encode_instruction(st, pc); !r.ok()) return r.error();
+        continue;
+      }
+      if (st.directive == "word" || st.directive == "half" ||
+          st.directive == "byte") {
+        std::uint32_t addr = pc;
+        for (const std::string& token : st.operands) {
+          auto value = eval(token, st.line);
+          if (!value.ok()) return value.error();
+          if (st.directive == "word") {
+            emit_data(addr, static_cast<std::uint32_t>(value.value()), 4);
+            addr += 4;
+          } else if (st.directive == "half") {
+            emit_data(addr, static_cast<std::uint32_t>(value.value()), 2);
+            addr += 2;
+          } else {
+            emit_data(addr, static_cast<std::uint32_t>(value.value()), 1);
+            addr += 1;
+          }
+        }
+      } else if (st.directive == "space") {
+        auto size = statement_size(st);
+        ZS_ASSERT(size.ok());
+        for (std::uint32_t k = 0; k < size.value(); ++k) {
+          emit_data(pc + k, 0, 1);
+        }
+      }
+      // text/data/org/align already handled in layout.
+    }
+    return {};
+  }
+
+  /// Byte-granular emission for data directives (packs into the byte
+  /// stream; chunks carry whole words, so buffer bytes separately).
+  void emit_data(std::uint32_t addr, std::uint32_t value, unsigned size) {
+    for (unsigned k = 0; k < size; ++k) {
+      data_bytes_.emplace_back(addr + k,
+                               static_cast<std::uint8_t>(value >> (8 * k)));
+    }
+  }
+
+  std::vector<Statement> statements_;
+  std::vector<std::uint32_t> addresses_;
+  AsmProgram program_;
+
+ public:
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> data_bytes_;
+};
+
+}  // namespace
+
+void AsmProgram::load_into(mem::Memory& memory) const {
+  for (const Chunk& chunk : chunks) {
+    memory.load_words(chunk.addr, chunk.words);
+  }
+}
+
+std::size_t AsmProgram::word_count() const {
+  std::size_t n = 0;
+  for (const Chunk& chunk : chunks) n += chunk.words.size();
+  return n;
+}
+
+Result<AsmProgram> assemble(std::string_view source) {
+  Assembler assembler;
+  auto program = assembler.run(source);
+  if (!program.ok()) return program.error();
+  // Fold data bytes into word chunks (aligned groups of 4 where possible;
+  // stragglers become single read-modify-write words).
+  AsmProgram result = std::move(program).value();
+  if (!assembler.data_bytes_.empty()) {
+    mem::Memory staging;
+    std::uint32_t lo = UINT32_MAX, hi = 0;
+    for (const auto& [addr, byte] : assembler.data_bytes_) {
+      staging.write8(addr, byte);
+      lo = std::min(lo, addr);
+      hi = std::max(hi, addr);
+    }
+    const std::uint32_t start = lo & ~3u;
+    const std::uint32_t end = align_up(hi + 1, 4);
+    AsmProgram::Chunk chunk;
+    chunk.addr = start;
+    for (std::uint32_t a = start; a < end; a += 4) {
+      chunk.words.push_back(staging.fetch32(a));
+    }
+    result.chunks.push_back(std::move(chunk));
+  }
+  return result;
+}
+
+}  // namespace zolcsim::assembler

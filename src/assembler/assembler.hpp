@@ -1,0 +1,52 @@
+// Two-pass assembler for the modelled core's ISA, matching the
+// disassembler's syntax so text <-> binary round trips:
+//
+//   ; comments (also #)
+//   .text [addr]   .data [addr]   .org addr
+//   .word v,...    .half v,...    .byte v,...   .space n   .align n
+//   label:  addi $t0, $zero, 5
+//           lw   $t0, 4($sp)
+//           beq  $t0, $t1, loop        ; branch targets are labels/addresses
+//           li   $t0, 0x12345678       ; pseudo: lui+ori (always 2 words)
+//           zolw.te 3, $t0             ; ZOLC init-mode table write
+//           zolon 0, $t0
+//
+// Numbers: decimal, 0x hex, 0b binary. Registers: $0..$31, r0..r31, or ABI
+// names ($zero, $t0, ...). Errors carry 1-based line numbers.
+#ifndef ZOLCSIM_ASSEMBLER_ASSEMBLER_HPP
+#define ZOLCSIM_ASSEMBLER_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "mem/memory.hpp"
+
+namespace zolcsim::assembler {
+
+/// Assembled image: address-tagged word chunks plus the symbol table.
+struct AsmProgram {
+  struct Chunk {
+    std::uint32_t addr = 0;
+    std::vector<std::uint32_t> words;
+  };
+
+  std::vector<Chunk> chunks;
+  std::map<std::string, std::uint32_t, std::less<>> symbols;
+  std::uint32_t entry = 0;  ///< address of the first .text content
+
+  void load_into(mem::Memory& memory) const;
+
+  /// Total assembled words across all chunks.
+  [[nodiscard]] std::size_t word_count() const;
+};
+
+/// Assembles `source`. Default text origin 0x1000, data origin 0x100000.
+[[nodiscard]] Result<AsmProgram> assemble(std::string_view source);
+
+}  // namespace zolcsim::assembler
+
+#endif  // ZOLCSIM_ASSEMBLER_ASSEMBLER_HPP

@@ -1,0 +1,302 @@
+#include "cfg/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim::cfg {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+[[maybe_unused]] bool ends_block(const Instruction& instr) {
+  if (!instr.valid()) return true;
+  const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+  return info.is_cond_branch || info.is_jump || instr.op == Opcode::kHalt;
+}
+
+}  // namespace
+
+Cfg::Cfg(std::span<const Instruction> code, std::uint32_t base)
+    : base_(base) {
+  const auto n = static_cast<unsigned>(code.size());
+  ZS_EXPECTS(n > 0);
+
+  // Pass 1: leaders.
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  const auto mark_target = [&](std::uint32_t addr) {
+    if (addr < base_) return;
+    const std::uint32_t idx = (addr - base_) / 4;
+    if (idx < n) leader[idx] = true;
+  };
+  for (unsigned i = 0; i < n; ++i) {
+    const Instruction& instr = code[i];
+    if (!instr.valid()) continue;
+    const std::uint32_t pc = base_ + i * 4;
+    const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+    if (info.is_cond_branch) {
+      mark_target(isa::branch_target(instr, pc));
+      if (i + 1 < n) leader[i + 1] = true;
+    } else if (instr.op == Opcode::kJ || instr.op == Opcode::kJal) {
+      mark_target(isa::jump_target(instr, pc));
+      if (i + 1 < n) leader[i + 1] = true;
+    } else if (info.is_jump || instr.op == Opcode::kHalt) {
+      if (i + 1 < n) leader[i + 1] = true;
+    }
+  }
+
+  // Pass 2: blocks.
+  block_index_.assign(n, -1);
+  for (unsigned i = 0; i < n; ++i) {
+    if (leader[i]) {
+      BasicBlock block;
+      block.first = i;
+      blocks_.push_back(block);
+    }
+    block_index_[i] = static_cast<int>(blocks_.size()) - 1;
+  }
+  for (auto& block : blocks_) {
+    unsigned last = block.first;
+    while (last + 1 < n && !leader[last + 1]) ++last;
+    block.last = last;
+  }
+
+  // Pass 3: edges.
+  const auto block_at_addr = [&](std::uint32_t addr) -> int {
+    if (addr < base_) return -1;
+    const std::uint32_t idx = (addr - base_) / 4;
+    if (idx >= n) return -1;
+    return block_index_[idx];
+  };
+  for (unsigned bi = 0; bi < blocks_.size(); ++bi) {
+    BasicBlock& block = blocks_[bi];
+    const Instruction& term = code[block.last];
+    const std::uint32_t pc = base_ + block.last * 4;
+    const auto add_edge = [&](int target) {
+      if (target < 0) return;
+      block.succs.push_back(static_cast<unsigned>(target));
+    };
+    if (!term.valid() || term.op == Opcode::kHalt) {
+      // no successors
+    } else {
+      const isa::OpcodeInfo& info = isa::opcode_info(term.op);
+      if (info.is_cond_branch) {
+        add_edge(block_at_addr(isa::branch_target(term, pc)));
+        if (block.last + 1 < n) add_edge(block_index_[block.last + 1]);
+      } else if (term.op == Opcode::kJ || term.op == Opcode::kJal) {
+        add_edge(block_at_addr(isa::jump_target(term, pc)));
+      } else if (info.is_jump) {
+        // jr/jalr: indirect, no static successors.
+      } else if (block.last + 1 < n) {
+        add_edge(block_index_[block.last + 1]);
+      }
+    }
+  }
+  for (unsigned bi = 0; bi < blocks_.size(); ++bi) {
+    for (const unsigned succ : blocks_[bi].succs) {
+      blocks_[succ].preds.push_back(bi);
+    }
+  }
+
+  compute_dominators();
+}
+
+int Cfg::block_of(unsigned instr) const {
+  if (instr >= block_index_.size()) return -1;
+  return block_index_[instr];
+}
+
+void Cfg::compute_dominators() {
+  const auto n = static_cast<unsigned>(blocks_.size());
+  // Reverse post-order DFS from block 0.
+  rpo_number_.assign(n, -1);
+  std::vector<unsigned> postorder;
+  std::vector<std::pair<unsigned, unsigned>> stack;  // (block, next succ)
+  std::vector<bool> visited(n, false);
+  visited[0] = true;
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [block, next] = stack.back();
+    if (next < blocks_[block].succs.size()) {
+      const unsigned succ = blocks_[block].succs[next++];
+      if (!visited[succ]) {
+        visited[succ] = true;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      postorder.push_back(block);
+      stack.pop_back();
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (unsigned i = 0; i < rpo_.size(); ++i) {
+    rpo_number_[rpo_[i]] = static_cast<int>(i);
+  }
+
+  // Cooper-Harvey-Kennedy iteration.
+  constexpr unsigned kUndef = ~0u;
+  idom_.assign(n, kUndef);
+  idom_[0] = 0;
+  const auto intersect = [&](unsigned a, unsigned b) {
+    while (a != b) {
+      while (rpo_number_[a] > rpo_number_[b]) a = idom_[a];
+      while (rpo_number_[b] > rpo_number_[a]) b = idom_[b];
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const unsigned block : rpo_) {
+      if (block == 0) continue;
+      unsigned new_idom = kUndef;
+      for (const unsigned pred : blocks_[block].preds) {
+        if (rpo_number_[pred] < 0 || idom_[pred] == kUndef) continue;
+        new_idom = new_idom == kUndef ? pred : intersect(pred, new_idom);
+      }
+      if (new_idom != kUndef && idom_[block] != new_idom) {
+        idom_[block] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(unsigned a, unsigned b) const {
+  ZS_EXPECTS(a < blocks_.size() && b < blocks_.size());
+  if (!reachable(b)) return false;
+  unsigned walk = b;
+  while (true) {
+    if (walk == a) return true;
+    if (walk == 0) return a == 0;
+    walk = idom_[walk];
+  }
+}
+
+unsigned LoopForest::max_depth() const {
+  unsigned depth = 0;
+  for (const LoopInfo& loop : loops) depth = std::max(depth, loop.depth);
+  return depth;
+}
+
+LoopForest find_loops(const Cfg& cfg) {
+  LoopForest forest;
+  const auto& blocks = cfg.blocks();
+
+  // Back edges: tail -> header where the header dominates the tail.
+  std::vector<std::pair<unsigned, unsigned>> back_edges;
+  for (unsigned b = 0; b < blocks.size(); ++b) {
+    if (!cfg.reachable(b)) continue;
+    for (const unsigned succ : blocks[b].succs) {
+      if (cfg.dominates(succ, b)) back_edges.emplace_back(b, succ);
+    }
+  }
+  // Irreducibility: an edge u->v is retreating if v precedes u in RPO;
+  // retreating edges that are not back edges indicate irreducible regions.
+  std::vector<int> order(blocks.size(), -1);
+  for (unsigned i = 0; i < cfg.rpo().size(); ++i) {
+    order[cfg.rpo()[i]] = static_cast<int>(i);
+  }
+  for (unsigned b = 0; b < blocks.size(); ++b) {
+    if (order[b] < 0) continue;
+    for (const unsigned succ : blocks[b].succs) {
+      if (order[succ] >= 0 && order[succ] <= order[b] &&
+          !cfg.dominates(succ, b)) {
+        forest.irreducible = true;
+      }
+    }
+  }
+
+  // Natural loops: union of back-edge loops sharing a header.
+  std::vector<std::pair<unsigned, std::set<unsigned>>> header_loops;
+  for (const auto& [tail, header] : back_edges) {
+    auto it = std::find_if(header_loops.begin(), header_loops.end(),
+                           [h = header](const auto& e) { return e.first == h; });
+    if (it == header_loops.end()) {
+      header_loops.emplace_back(header, std::set<unsigned>{header});
+      it = std::prev(header_loops.end());
+    }
+    // Backward flood from tail to header.
+    std::vector<unsigned> work{tail};
+    while (!work.empty()) {
+      const unsigned b = work.back();
+      work.pop_back();
+      if (it->second.count(b) != 0) continue;
+      it->second.insert(b);
+      for (const unsigned pred : blocks[b].preds) {
+        if (cfg.reachable(pred)) work.push_back(pred);
+      }
+    }
+  }
+
+  for (const auto& [header, members] : header_loops) {
+    LoopInfo loop;
+    loop.header = header;
+    loop.blocks.assign(members.begin(), members.end());
+    for (const auto& [tail, h] : back_edges) {
+      if (h == header) loop.back_edges.push_back(tail);
+    }
+    for (const unsigned b : members) {
+      for (const unsigned succ : blocks[b].succs) {
+        if (members.count(succ) == 0) {
+          loop.exit_blocks.push_back(b);
+          break;
+        }
+      }
+    }
+    for (const unsigned b : members) {
+      if (b == header) continue;
+      for (const unsigned pred : blocks[b].preds) {
+        if (cfg.reachable(pred) && members.count(pred) == 0) {
+          loop.entry_blocks.push_back(b);
+          break;
+        }
+      }
+    }
+    forest.loops.push_back(std::move(loop));
+  }
+
+  // Nesting: parent = smallest strictly-containing loop.
+  std::sort(forest.loops.begin(), forest.loops.end(),
+            [](const LoopInfo& a, const LoopInfo& b) {
+              return a.blocks.size() > b.blocks.size();
+            });
+  for (unsigned i = 0; i < forest.loops.size(); ++i) {
+    for (int j = static_cast<int>(i) - 1; j >= 0; --j) {
+      const auto& candidate = forest.loops[static_cast<unsigned>(j)].blocks;
+      if (std::includes(candidate.begin(), candidate.end(),
+                        forest.loops[i].blocks.begin(),
+                        forest.loops[i].blocks.end()) &&
+          candidate.size() > forest.loops[i].blocks.size()) {
+        forest.loops[i].parent = j;
+        forest.loops[i].depth =
+            forest.loops[static_cast<unsigned>(j)].depth + 1;
+        break;
+      }
+    }
+  }
+  return forest;
+}
+
+std::string describe_structure(const Cfg& cfg, const LoopForest& forest) {
+  std::ostringstream os;
+  os << "blocks: " << cfg.block_count() << ", loops: " << forest.loops.size()
+     << ", max depth: " << forest.max_depth()
+     << (forest.irreducible ? ", IRREDUCIBLE" : "") << '\n';
+  for (unsigned i = 0; i < forest.loops.size(); ++i) {
+    const LoopInfo& loop = forest.loops[i];
+    os << std::string(loop.depth * 2, ' ') << "loop " << i << ": header=B"
+       << loop.header << " blocks=" << loop.blocks.size()
+       << " exits=" << loop.exit_blocks.size()
+       << (loop.multi_exit() ? " [multi-exit]" : "")
+       << (loop.multi_entry() ? " [multi-entry]" : "") << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace zolcsim::cfg

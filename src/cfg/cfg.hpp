@@ -1,0 +1,110 @@
+// Control-flow graph over decoded programs: basic blocks, successor edges,
+// dominators, and natural-loop analysis. This is the analysis view of "task
+// regions among loop boundaries" (Section 2 of the paper): it recovers loop
+// structure from plain machine code, classifies loops the way the ZOLC
+// variants care about (single vs multiple entry/exit), and is used to
+// cross-validate the structured lowering.
+#ifndef ZOLCSIM_CFG_CFG_HPP
+#define ZOLCSIM_CFG_CFG_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace zolcsim::cfg {
+
+/// A maximal straight-line block. Indices are instruction (word) positions
+/// within the analyzed code span.
+struct BasicBlock {
+  unsigned first = 0;
+  unsigned last = 0;  ///< inclusive
+  std::vector<unsigned> succs;
+  std::vector<unsigned> preds;
+};
+
+class Cfg {
+ public:
+  /// Builds the CFG of `code` located at byte address `base`. Indirect jumps
+  /// (jr/jalr) are treated as block terminators with no static successors.
+  Cfg(std::span<const isa::Instruction> code, std::uint32_t base);
+
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] std::uint32_t base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  /// Block containing instruction index `instr`, or -1.
+  [[nodiscard]] int block_of(unsigned instr) const;
+
+  /// Immediate dominator of each block (entry's idom is itself). Computed
+  /// with the Cooper-Harvey-Kennedy iterative algorithm.
+  [[nodiscard]] const std::vector<unsigned>& idom() const noexcept {
+    return idom_;
+  }
+
+  /// True iff block `a` dominates block `b`.
+  [[nodiscard]] bool dominates(unsigned a, unsigned b) const;
+
+  /// Reverse post-order of reachable blocks.
+  [[nodiscard]] const std::vector<unsigned>& rpo() const noexcept {
+    return rpo_;
+  }
+
+  [[nodiscard]] bool reachable(unsigned block) const {
+    return rpo_number_[block] >= 0;
+  }
+
+ private:
+  void compute_dominators();
+
+  std::uint32_t base_ = 0;
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> block_index_;   ///< instruction index -> block
+  std::vector<unsigned> idom_;
+  std::vector<unsigned> rpo_;
+  std::vector<int> rpo_number_;
+};
+
+/// A natural loop discovered from back edges (plus irreducible regions
+/// flagged separately).
+struct LoopInfo {
+  unsigned header = 0;                 ///< header block
+  std::vector<unsigned> blocks;        ///< member blocks (sorted)
+  std::vector<unsigned> back_edges;    ///< source blocks of back edges
+  std::vector<unsigned> exit_blocks;   ///< members with a successor outside
+  std::vector<unsigned> entry_blocks;  ///< non-header members with an
+                                       ///< outside predecessor (multi-entry)
+  int parent = -1;                     ///< enclosing loop index, -1 = top
+  unsigned depth = 1;
+
+  [[nodiscard]] bool multi_exit() const noexcept {
+    return exit_blocks.size() > 1;
+  }
+  [[nodiscard]] bool multi_entry() const noexcept {
+    return !entry_blocks.empty();
+  }
+};
+
+struct LoopForest {
+  std::vector<LoopInfo> loops;  ///< outer loops before their children
+  bool irreducible = false;     ///< retreating non-back edges exist
+
+  [[nodiscard]] unsigned max_depth() const;
+};
+
+/// Natural-loop detection over `cfg`.
+[[nodiscard]] LoopForest find_loops(const Cfg& cfg);
+
+/// Human-readable structure report (used by the loop explorer example).
+[[nodiscard]] std::string describe_structure(const Cfg& cfg,
+                                             const LoopForest& forest);
+
+}  // namespace zolcsim::cfg
+
+#endif  // ZOLCSIM_CFG_CFG_HPP

@@ -1,0 +1,239 @@
+#include "cfg/zolcscan.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "isa/build.hpp"
+
+namespace zolcsim::cfg {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+/// Matches a constant materialization `addi reg, $zero, imm` scanning
+/// backwards from `from` (exclusive), giving up after `window` instructions
+/// or at the first other write to `reg`.
+std::optional<std::int32_t> find_constant_init(
+    std::span<const Instruction> code, unsigned from, std::uint8_t reg,
+    unsigned window = 8) {
+  for (unsigned back = 1; back <= window && back <= from; ++back) {
+    const Instruction& instr = code[from - back];
+    if (!instr.valid()) return std::nullopt;
+    const auto dest = isa::dest_reg(instr);
+    if (!dest || *dest != reg) continue;
+    if (instr.op == Opcode::kAddi && instr.rs == 0) return instr.imm;
+    return std::nullopt;  // written by something other than a simple li
+  }
+  return std::nullopt;
+}
+
+/// True iff any instruction in [first, last] reads `reg` before writing it
+/// (straight-line scan; conservative for the liveness check below).
+bool read_before_write(std::span<const Instruction> code, unsigned first,
+                       unsigned last, std::uint8_t reg) {
+  for (unsigned i = first; i <= last && i < code.size(); ++i) {
+    const Instruction& instr = code[i];
+    if (!instr.valid()) continue;
+    const isa::SourceRegs srcs = isa::source_regs(instr);
+    for (std::uint8_t s = 0; s < srcs.count; ++s) {
+      if (srcs.regs[s] == reg) return true;
+    }
+    const auto dest = isa::dest_reg(instr);
+    if (dest && *dest == reg) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+const MicroPlan* ScanReport::best() const {
+  const MicroPlan* best_plan = nullptr;
+  for (const MicroPlan& plan : candidates) {
+    if (best_plan == nullptr || plan.depth > best_plan->depth) {
+      best_plan = &plan;
+    }
+  }
+  return best_plan;
+}
+
+ScanReport scan_for_micro_loops(std::span<const Instruction> code,
+                                std::uint32_t base) {
+  ScanReport report;
+  const Cfg cfg(code, base);
+  const LoopForest forest = find_loops(cfg);
+
+  const auto reject = [&report](unsigned header, const char* why) {
+    std::ostringstream os;
+    os << "loop at B" << header << ": " << why;
+    report.rejected.push_back(os.str());
+  };
+
+  for (const LoopInfo& loop : forest.loops) {
+    // Innermost only: uZOLC manages a single loop level.
+    const bool has_child = std::any_of(
+        forest.loops.begin(), forest.loops.end(), [&](const LoopInfo& other) {
+          return &other != &loop &&
+                 std::includes(loop.blocks.begin(), loop.blocks.end(),
+                               other.blocks.begin(), other.blocks.end());
+        });
+    if (has_child) {
+      reject(loop.header, "not innermost");
+      continue;
+    }
+    if (loop.multi_exit() || loop.multi_entry()) {
+      reject(loop.header, "multiple exits/entries need ZOLCfull");
+      continue;
+    }
+    if (loop.back_edges.size() != 1) {
+      reject(loop.header, "multiple back edges");
+      continue;
+    }
+
+    // The back-edge block must end with the addi/blt idiom.
+    const BasicBlock& latch = cfg.blocks()[loop.back_edges.front()];
+    const unsigned branch_idx = latch.last;
+    if (branch_idx == 0) {
+      reject(loop.header, "degenerate latch");
+      continue;
+    }
+    const Instruction& branch = code[branch_idx];
+    const Instruction& update = code[branch_idx - 1];
+    if (branch.op != Opcode::kBlt || update.op != Opcode::kAddi ||
+        update.rs != update.rt) {
+      reject(loop.header, "back edge is not the addi/blt idiom");
+      continue;
+    }
+    const std::uint8_t idx_reg = update.rt;
+    const std::int32_t step = update.imm;
+    std::uint8_t bound_reg = 0;
+    zolc::LoopCond cond = zolc::LoopCond::kLt;
+    if (branch.rs == idx_reg) {
+      bound_reg = branch.rt;  // blt idx, bound: continue while idx < bound
+      cond = zolc::LoopCond::kLt;
+    } else if (branch.rt == idx_reg) {
+      bound_reg = branch.rs;  // blt bound, idx: continue while idx > bound
+      cond = zolc::LoopCond::kGt;
+    } else {
+      reject(loop.header, "branch does not test the updated index");
+      continue;
+    }
+    if (step == 0 || (step > 0) != (cond == zolc::LoopCond::kLt)) {
+      reject(loop.header, "step direction disagrees with the bound test");
+      continue;
+    }
+
+    const unsigned header_first = cfg.blocks()[loop.header].first;
+    if (header_first + 1 > branch_idx - 1) {
+      reject(loop.header, "no body instructions besides the overhead pair");
+      continue;
+    }
+
+    // Constant index initial and bound from the preheader.
+    const auto initial = find_constant_init(code, header_first, idx_reg);
+    const auto bound = find_constant_init(code, header_first, bound_reg);
+    if (!initial || !bound) {
+      reject(loop.header, "index/bound are not simple constants");
+      continue;
+    }
+
+    // Safety: nothing inside the loop may write the index or the bound
+    // (besides the patched update), no calls, and no branch may target the
+    // patched tail (a path that skips the new end PC would fall out of the
+    // loop without a boundary event).
+    bool safe = true;
+    for (const unsigned block_id : loop.blocks) {
+      const BasicBlock& block = cfg.blocks()[block_id];
+      for (unsigned i = block.first; i <= block.last && safe; ++i) {
+        const Instruction& instr = code[i];
+        if (!instr.valid()) {
+          safe = false;
+          break;
+        }
+        if (instr.op == Opcode::kJal || instr.op == Opcode::kJalr ||
+            instr.op == Opcode::kJr) {
+          safe = false;
+          break;
+        }
+        if (i == branch_idx || i == branch_idx - 1) continue;
+        const auto dest = isa::dest_reg(instr);
+        if (dest && (*dest == idx_reg || *dest == bound_reg)) safe = false;
+      }
+    }
+    if (!safe) {
+      reject(loop.header, "loop body writes the index/bound or makes calls");
+      continue;
+    }
+    bool tail_targeted = false;
+    for (unsigned i = 0; i < code.size(); ++i) {
+      const Instruction& instr = code[i];
+      if (!instr.valid() ||
+          !isa::opcode_info(instr.op).is_cond_branch) {
+        continue;
+      }
+      const std::uint32_t target = isa::branch_target(instr, base + i * 4);
+      const std::uint32_t t_idx = (target - base) / 4;
+      if (t_idx == branch_idx || t_idx == branch_idx - 1) {
+        tail_targeted = true;
+      }
+    }
+    if (tail_targeted) {
+      reject(loop.header, "a branch targets the patched tail");
+      continue;
+    }
+
+    // Index liveness after the loop: the hardware leaves `initial` in the
+    // register where software left `final`; reject if the code after the
+    // loop reads it before redefining it.
+    if (read_before_write(code, branch_idx + 1,
+                          static_cast<unsigned>(code.size()) - 1, idx_reg)) {
+      reject(loop.header, "index register is live after the loop");
+      continue;
+    }
+
+    MicroPlan plan;
+    plan.start_pc = base + header_first * 4;
+    plan.end_pc = base + (branch_idx - 2) * 4;  // last real body instruction
+    plan.initial = *initial;
+    plan.final = *bound;
+    plan.step = step;
+    plan.index_reg = idx_reg;
+    plan.cond = cond;
+    plan.update_index = branch_idx - 1;
+    plan.branch_index = branch_idx;
+    plan.depth = loop.depth;
+    report.candidates.push_back(plan);
+  }
+  return report;
+}
+
+std::vector<Instruction> apply_patch(std::span<const Instruction> code,
+                                     const MicroPlan& plan) {
+  ZS_EXPECTS(plan.branch_index < code.size() && plan.update_index < code.size());
+  std::vector<Instruction> patched(code.begin(), code.end());
+  patched[plan.update_index] = isa::build::nop();
+  patched[plan.branch_index] = isa::build::nop();
+  return patched;
+}
+
+void program_micro_controller(zolc::ZolcController& controller,
+                              const MicroPlan& plan) {
+  ZS_EXPECTS(controller.variant() == zolc::ZolcVariant::kMicro);
+  using MR = zolc::MicroReg;
+  const auto write = [&controller](MR reg, std::uint32_t value) {
+    controller.init_write(Opcode::kZolwU, static_cast<std::uint8_t>(reg),
+                          value);
+  };
+  write(MR::kInitial, static_cast<std::uint32_t>(plan.initial));
+  write(MR::kFinal, static_cast<std::uint32_t>(plan.final));
+  write(MR::kStep, static_cast<std::uint32_t>(plan.step));
+  write(MR::kStartPc, plan.start_pc);
+  write(MR::kEndPc, plan.end_pc);
+  write(MR::kCtrl, zolc::pack_micro_ctrl(plan.index_reg, plan.cond));
+  controller.activate(0, plan.start_pc & ~0xFFFu);
+}
+
+}  // namespace zolcsim::cfg

@@ -1,0 +1,70 @@
+// zolcscan: post-link loop acceleration. Scans a compiled binary's CFG for
+// the counted-loop back-edge idiom
+//
+//     head:  <body>
+//            addi  idx, idx, step
+//            blt   idx, bound, head      (or blt bound, idx for step < 0)
+//
+// with a constant-initialized index and bound, verifies the loop is safe to
+// hardware-manage (single exit, no calls, index not live-out, nothing
+// branches into the patched tail), then:
+//   * patches the two overhead instructions to nops, and
+//   * produces a uZOLC programming plan (start/end PCs, bounds, index reg)
+//     that a loader applies through the controller's init interface.
+//
+// The accelerated loop then iterates at body-only cost -- zero-overhead
+// looping for existing binaries, no recompilation. This is the analysis
+// counterpart of the structured lowering in src/codegen and mirrors the
+// compiler-less deployment story of the ZOLC line of work.
+#ifndef ZOLCSIM_CFG_ZOLCSCAN_HPP
+#define ZOLCSIM_CFG_ZOLCSCAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "zolc/controller.hpp"
+
+namespace zolcsim::cfg {
+
+/// A hardware-manageable counted loop recovered from a binary.
+struct MicroPlan {
+  std::uint32_t start_pc = 0;  ///< first body instruction
+  std::uint32_t end_pc = 0;    ///< last body instruction after patching
+  std::int32_t initial = 0;
+  std::int32_t final = 0;
+  std::int32_t step = 0;
+  std::uint8_t index_reg = 0;
+  zolc::LoopCond cond = zolc::LoopCond::kLt;
+  unsigned update_index = 0;  ///< instruction index of the patched addi
+  unsigned branch_index = 0;  ///< instruction index of the patched branch
+  unsigned depth = 1;         ///< loop nesting depth (hotness heuristic)
+
+  friend bool operator==(const MicroPlan&, const MicroPlan&) = default;
+};
+
+struct ScanReport {
+  std::vector<MicroPlan> candidates;  ///< all safely accelerable loops
+  std::vector<std::string> rejected;  ///< human-readable rejection reasons
+
+  /// The deepest (hottest) candidate, or nullptr.
+  [[nodiscard]] const MicroPlan* best() const;
+};
+
+/// Scans `code` (loaded at `base`) for accelerable counted loops.
+[[nodiscard]] ScanReport scan_for_micro_loops(
+    std::span<const isa::Instruction> code, std::uint32_t base);
+
+/// Returns a copy of `code` with the plan's overhead instructions nop-ed.
+[[nodiscard]] std::vector<isa::Instruction> apply_patch(
+    std::span<const isa::Instruction> code, const MicroPlan& plan);
+
+/// Programs a uZOLC controller with the plan and activates it (the loader
+/// side of the deployment; equivalent to the zolw.u/zolon sequence).
+void program_micro_controller(zolc::ZolcController& controller,
+                              const MicroPlan& plan);
+
+}  // namespace zolcsim::cfg
+
+#endif  // ZOLCSIM_CFG_ZOLCSCAN_HPP

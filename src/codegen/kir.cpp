@@ -1,0 +1,190 @@
+#include "codegen/kir.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim::codegen {
+
+KernelBuilder::KernelBuilder() { scope_.push_back(&roots_); }
+
+void KernelBuilder::op(const isa::Instruction& instr) {
+  ZS_EXPECTS(instr.valid());
+  scope_.back()->push_back(KOp{instr});
+}
+
+void KernelBuilder::li(std::uint8_t reg, std::int32_t value) {
+  namespace b = isa::build;
+  if (value >= -32768 && value <= 32767) {
+    op(b::addi(reg, 0, value));
+    return;
+  }
+  const auto uv = static_cast<std::uint32_t>(value);
+  op(b::lui(reg, static_cast<std::int32_t>(uv >> 16)));
+  if ((uv & 0xFFFFu) != 0) {
+    op(b::ori(reg, reg, static_cast<std::int32_t>(uv & 0xFFFFu)));
+  }
+}
+
+void KernelBuilder::for_count(std::uint8_t index_reg, std::int32_t initial,
+                              std::int32_t final, std::int32_t step,
+                              const std::function<void()>& body) {
+  KFor loop;
+  loop.index_reg = index_reg;
+  loop.initial = initial;
+  loop.final = final;
+  loop.step = step;
+  scope_.back()->push_back(std::move(loop));
+  auto& slot = std::get<KFor>(scope_.back()->back());
+  scope_.push_back(&slot.body);
+  body();
+  scope_.pop_back();
+}
+
+void KernelBuilder::if_cond(isa::Opcode cond, std::uint8_t rs, std::uint8_t rt,
+                            const std::function<void()>& body) {
+  KIf node;
+  node.cond = cond;
+  node.rs = rs;
+  node.rt = rt;
+  scope_.back()->push_back(std::move(node));
+  auto& slot = std::get<KIf>(scope_.back()->back());
+  scope_.push_back(&slot.body);
+  body();
+  scope_.pop_back();
+}
+
+void KernelBuilder::break_if(isa::Opcode cond, std::uint8_t rs,
+                             std::uint8_t rt) {
+  scope_.back()->push_back(KBreakIf{cond, rs, rt});
+}
+
+std::vector<KNode> KernelBuilder::take() {
+  ZS_EXPECTS(scope_.size() == 1);  // all nested scopes closed
+  std::vector<KNode> out = std::move(roots_);
+  roots_.clear();
+  return out;
+}
+
+std::int64_t trip_count(const KFor& loop) noexcept {
+  if (loop.step == 0) return -1;
+  const std::int64_t span = static_cast<std::int64_t>(loop.final) -
+                            static_cast<std::int64_t>(loop.initial);
+  if (loop.step > 0) {
+    if (span <= 0) return -1;
+    return (span + loop.step - 1) / loop.step;
+  }
+  if (span >= 0) return -1;
+  return (-span + (-loop.step) - 1) / (-loop.step);
+}
+
+namespace {
+
+template <typename Pred>
+bool any_instruction(std::span<const KNode> nodes, const Pred& pred) {
+  for (const KNode& node : nodes) {
+    if (const auto* kop = std::get_if<KOp>(&node)) {
+      if (pred(kop->instr)) return true;
+    } else if (const auto* kfor = std::get_if<KFor>(&node)) {
+      if (any_instruction(std::span<const KNode>(kfor->body), pred)) {
+        return true;
+      }
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      if (any_instruction(std::span<const KNode>(kif->body), pred)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool direct_break_scan(std::span<const KNode> nodes) {
+  for (const KNode& node : nodes) {
+    if (std::holds_alternative<KBreakIf>(node)) return true;
+    if (const auto* kif = std::get_if<KIf>(&node)) {
+      // Breaks inside a conditional still exit the same loop.
+      if (direct_break_scan(kif->body)) return true;
+    }
+    // KFor starts a deeper loop: its breaks belong to it.
+  }
+  return false;
+}
+
+}  // namespace
+
+bool body_reads_reg(std::span<const KNode> nodes, std::uint8_t reg) {
+  const bool in_ops = any_instruction(nodes, [reg](const isa::Instruction& i) {
+    const isa::SourceRegs srcs = isa::source_regs(i);
+    for (std::uint8_t k = 0; k < srcs.count; ++k) {
+      if (srcs.regs[k] == reg) return true;
+    }
+    return false;
+  });
+  if (in_ops) return true;
+  // Conditions of ifs/breaks read registers too.
+  for (const KNode& node : nodes) {
+    if (const auto* kif = std::get_if<KIf>(&node)) {
+      if (kif->rs == reg || kif->rt == reg) return true;
+      if (body_reads_reg(kif->body, reg)) return true;
+    } else if (const auto* kbr = std::get_if<KBreakIf>(&node)) {
+      if (kbr->rs == reg || kbr->rt == reg) return true;
+    } else if (const auto* kfor = std::get_if<KFor>(&node)) {
+      if (body_reads_reg(kfor->body, reg)) return true;
+    }
+  }
+  return false;
+}
+
+bool body_writes_reg(std::span<const KNode> nodes, std::uint8_t reg) {
+  if (reg == 0) return false;
+  return any_instruction(nodes, [reg](const isa::Instruction& i) {
+    const auto dest = isa::dest_reg(i);
+    return dest.has_value() && *dest == reg;
+  });
+}
+
+bool contains_direct_break(std::span<const KNode> nodes) {
+  return direct_break_scan(nodes);
+}
+
+unsigned count_loops(std::span<const KNode> nodes) {
+  unsigned n = 0;
+  for (const KNode& node : nodes) {
+    if (const auto* kfor = std::get_if<KFor>(&node)) {
+      n += 1 + count_loops(kfor->body);
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      n += count_loops(kif->body);
+    }
+  }
+  return n;
+}
+
+unsigned max_loop_depth(std::span<const KNode> nodes) {
+  unsigned depth = 0;
+  for (const KNode& node : nodes) {
+    if (const auto* kfor = std::get_if<KFor>(&node)) {
+      depth = std::max(depth, 1 + max_loop_depth(kfor->body));
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      depth = std::max(depth, max_loop_depth(kif->body));
+    }
+  }
+  return depth;
+}
+
+isa::Opcode invert_branch(isa::Opcode op) {
+  using O = isa::Opcode;
+  switch (op) {
+    case O::kBeq:  return O::kBne;
+    case O::kBne:  return O::kBeq;
+    case O::kBlt:  return O::kBge;
+    case O::kBge:  return O::kBlt;
+    case O::kBltu: return O::kBgeu;
+    case O::kBgeu: return O::kBltu;
+    case O::kBlez: return O::kBgtz;
+    case O::kBgtz: return O::kBlez;
+    default:
+      ZS_UNREACHABLE("invert_branch: not an invertible conditional branch");
+  }
+}
+
+}  // namespace zolcsim::codegen

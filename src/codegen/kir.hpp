@@ -1,0 +1,125 @@
+// Kernel IR (KIR): a small structured program representation for DSP
+// kernels. Loops are counted `for` constructs with compile-time bounds (the
+// form ZOLC accelerates); bodies are straight-line instructions plus
+// structured conditionals and loop break-outs. One KIR kernel is lowered to
+// machine code for every machine configuration the paper compares, so the
+// *only* difference between configurations is loop-overhead handling.
+#ifndef ZOLCSIM_CODEGEN_KIR_HPP
+#define ZOLCSIM_CODEGEN_KIR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "isa/build.hpp"
+#include "isa/instruction.hpp"
+
+namespace zolcsim::codegen {
+
+struct KFor;
+struct KIf;
+
+/// A raw (non-control-flow) machine instruction.
+struct KOp {
+  isa::Instruction instr;
+};
+
+/// Break out of the innermost enclosing loop when cond(rs, rt) holds.
+struct KBreakIf {
+  isa::Opcode cond = isa::Opcode::kBne;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+};
+
+using KNode = std::variant<KOp, KFor, KIf, KBreakIf>;
+
+/// Counted loop: for (index = initial; ; index += step) with continuation
+/// condition `index < final` (step > 0) or `index > final` (step < 0),
+/// tested after each iteration (guaranteed >= 1 trip; validated statically).
+struct KFor {
+  std::uint8_t index_reg = 0;
+  std::int32_t initial = 0;
+  std::int32_t final = 0;
+  std::int32_t step = 1;
+  std::vector<KNode> body;
+};
+
+/// Structured conditional: body executes when cond(rs, rt) holds. May not
+/// contain loops that should be hardware-managed (a conditional boundary
+/// would be non-deterministic), which the lowering enforces by treating any
+/// loop inside a KIf as software.
+struct KIf {
+  isa::Opcode cond = isa::Opcode::kBeq;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::vector<KNode> body;
+};
+
+/// Fluent builder with lambda-scoped nesting:
+///   KernelBuilder kb;
+///   kb.li(7, data_base);
+///   kb.for_count(1, 0, n, 1, [&] { kb.op(b::lw(2, 0, 7)); ... });
+class KernelBuilder {
+ public:
+  KernelBuilder();
+
+  /// Appends a raw instruction to the current scope.
+  void op(const isa::Instruction& instr);
+
+  /// Materializes a 32-bit constant (1-2 instructions).
+  void li(std::uint8_t reg, std::int32_t value);
+
+  /// Opens a counted loop around `body`.
+  void for_count(std::uint8_t index_reg, std::int32_t initial,
+                 std::int32_t final, std::int32_t step,
+                 const std::function<void()>& body);
+
+  /// Opens a conditional around `body` (executes when cond holds).
+  void if_cond(isa::Opcode cond, std::uint8_t rs, std::uint8_t rt,
+               const std::function<void()>& body);
+
+  /// Breaks the innermost enclosing loop when cond holds.
+  void break_if(isa::Opcode cond, std::uint8_t rs, std::uint8_t rt);
+
+  /// Finalizes and returns the kernel. The builder is left empty.
+  [[nodiscard]] std::vector<KNode> take();
+
+ private:
+  std::vector<KNode> roots_;
+  std::vector<std::vector<KNode>*> scope_;
+};
+
+// ---------------- analysis helpers ----------------
+
+/// Number of iterations the loop executes (do-while semantics, >= 1 when
+/// well-formed). Returns -1 for malformed loops (zero step, wrong direction,
+/// or zero trips).
+[[nodiscard]] std::int64_t trip_count(const KFor& loop) noexcept;
+
+/// True iff any instruction in `nodes` (recursively) reads `reg`.
+[[nodiscard]] bool body_reads_reg(std::span<const KNode> nodes,
+                                  std::uint8_t reg);
+
+/// True iff any instruction in `nodes` (recursively) writes `reg`.
+[[nodiscard]] bool body_writes_reg(std::span<const KNode> nodes,
+                                   std::uint8_t reg);
+
+/// True iff `nodes` contains a KBreakIf not nested inside a deeper loop
+/// (i.e. a break that exits the loop whose body this is).
+[[nodiscard]] bool contains_direct_break(std::span<const KNode> nodes);
+
+/// Total number of loops (recursively).
+[[nodiscard]] unsigned count_loops(std::span<const KNode> nodes);
+
+/// Maximum loop nesting depth.
+[[nodiscard]] unsigned max_loop_depth(std::span<const KNode> nodes);
+
+/// The branch opcode with the opposite condition (beq<->bne, blt<->bge, ...).
+[[nodiscard]] isa::Opcode invert_branch(isa::Opcode op);
+
+}  // namespace zolcsim::codegen
+
+#endif  // ZOLCSIM_CODEGEN_KIR_HPP

@@ -1,0 +1,781 @@
+#include "codegen/lower.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bitutil.hpp"
+#include "common/contracts.hpp"
+#include "zolc/tables.hpp"
+
+namespace zolcsim::codegen {
+
+namespace {
+
+namespace b = isa::build;
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------- emission with label fixups ----------------
+
+class Emitter {
+ public:
+  [[nodiscard]] int pos() const { return static_cast<int>(code_.size()); }
+
+  void emit(const Instruction& instr) { code_.push_back(instr); }
+
+  void emit_li(std::uint8_t reg, std::int32_t value) {
+    if (value >= -32768 && value <= 32767) {
+      emit(b::addi(reg, 0, value));
+      return;
+    }
+    const auto uv = static_cast<std::uint32_t>(value);
+    emit(b::lui(reg, static_cast<std::int32_t>(uv >> 16)));
+    if ((uv & 0xFFFFu) != 0) {
+      emit(b::ori(reg, reg, static_cast<std::int32_t>(uv & 0xFFFFu)));
+    }
+  }
+
+  [[nodiscard]] int new_label() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size()) - 1;
+  }
+
+  void bind(int label) {
+    ZS_EXPECTS(label >= 0 && labels_[static_cast<unsigned>(label)] == -1);
+    labels_[static_cast<unsigned>(label)] = pos();
+  }
+
+  /// Emits a conditional branch whose offset is patched to `label`.
+  void emit_branch(Instruction branch, int label) {
+    fixups_.push_back({pos(), label});
+    emit(branch);
+  }
+
+  [[nodiscard]] Result<std::vector<Instruction>> finish() {
+    for (const Fixup& f : fixups_) {
+      const int target = labels_[static_cast<unsigned>(f.label)];
+      ZS_ASSERT(target >= 0);
+      const int ofs = target - (f.at + 1);
+      if (!fits_signed(ofs, 16)) {
+        return Error{"branch offset out of range"};
+      }
+      code_[static_cast<unsigned>(f.at)].imm = ofs;
+    }
+    return std::move(code_);
+  }
+
+ private:
+  struct Fixup {
+    int at;
+    int label;
+  };
+  std::vector<Instruction> code_;
+  std::vector<int> labels_;
+  std::vector<Fixup> fixups_;
+};
+
+// ---------------- validation ----------------
+
+bool uses_reserved_reg(const Instruction& instr) {
+  const auto in_pool = [](std::uint8_t r) { return r >= 24 && r <= 27; };
+  const isa::SourceRegs srcs = isa::source_regs(instr);
+  for (std::uint8_t i = 0; i < srcs.count; ++i) {
+    if (in_pool(srcs.regs[i])) return true;
+  }
+  const auto dest = isa::dest_reg(instr);
+  return dest.has_value() && in_pool(*dest);
+}
+
+Result<void> validate(std::span<const KNode> nodes, unsigned depth,
+                      bool inside_loop) {
+  if (depth > 4) return Error{"loop nesting deeper than 4 is not supported"};
+  for (const KNode& node : nodes) {
+    if (const auto* kop = std::get_if<KOp>(&node)) {
+      if (!kop->instr.valid()) return Error{"invalid instruction in kernel"};
+      const isa::OpcodeInfo& info = isa::opcode_info(kop->instr.op);
+      if (info.is_cond_branch || info.is_jump || info.is_zolc ||
+          kop->instr.op == Opcode::kHalt) {
+        return Error{"raw control-flow/zolc/halt instructions are not "
+                     "allowed in kernels; use structured constructs"};
+      }
+      if (uses_reserved_reg(kop->instr)) {
+        return Error{"kernel uses a reserved register (r24-r27)"};
+      }
+    } else if (const auto* kfor = std::get_if<KFor>(&node)) {
+      if (kfor->index_reg == 0 || kfor->index_reg >= isa::kNumRegs) {
+        return Error{"loop index register out of range"};
+      }
+      if (kfor->index_reg >= 24 && kfor->index_reg <= 27) {
+        return Error{"loop index register collides with the reserved pool"};
+      }
+      if (trip_count(*kfor) <= 0) {
+        return Error{"loop has zero or negative trip count"};
+      }
+      if (kfor->body.empty()) return Error{"empty loop body"};
+      if (body_writes_reg(kfor->body, kfor->index_reg)) {
+        return Error{"loop body writes the loop index register"};
+      }
+      if (auto r = validate(kfor->body, depth + 1, true); !r.ok()) return r;
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      if (kif->body.empty()) return Error{"empty if body"};
+      switch (kif->cond) {
+        case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+        case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+        case Opcode::kBlez: case Opcode::kBgtz:
+          break;
+        default:
+          return Error{"if condition must be a conditional branch opcode"};
+      }
+      if (auto r = validate(kif->body, depth, inside_loop); !r.ok()) return r;
+    } else if (std::holds_alternative<KBreakIf>(node)) {
+      if (!inside_loop) return Error{"break outside of any loop"};
+    }
+  }
+  return {};
+}
+
+// ---------------- loop analysis for the ZOLC lowerings ----------------
+
+struct LoopRec {
+  const KFor* node = nullptr;
+  int parent = -1;         ///< index of the innermost enclosing loop, or -1
+  unsigned depth = 0;
+  bool inside_if = false;
+  bool direct_break = false;
+  bool innermost = false;
+  bool hw = false;
+  int hw_id = -1;          ///< loop parameter table index
+  // Filled during/after emission (body-relative instruction indices).
+  int body_start = -1;
+  int body_end = -1;
+  int fb = -1;             ///< loop whose end is reached first from body start
+  int after_boundary = -1; ///< boundary after completion (-1 = terminal)
+  int body_task = -1;
+  int after_task = -1;
+};
+
+void collect_loops(std::span<const KNode> nodes, int parent, unsigned depth,
+                   bool inside_if, std::vector<LoopRec>& out) {
+  for (const KNode& node : nodes) {
+    if (const auto* kfor = std::get_if<KFor>(&node)) {
+      LoopRec rec;
+      rec.node = kfor;
+      rec.parent = parent;
+      rec.depth = depth;
+      rec.inside_if = inside_if;
+      rec.direct_break = contains_direct_break(kfor->body);
+      rec.innermost = count_loops(kfor->body) == 0;
+      const int my_index = static_cast<int>(out.size());
+      out.push_back(rec);
+      collect_loops(kfor->body, my_index, depth + 1, inside_if, out);
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      collect_loops(kif->body, parent, depth, /*inside_if=*/true, out);
+    }
+  }
+}
+
+bool bounds_fit_zolc_tables(const KFor& loop) {
+  return fits_signed(loop.initial, 16) && fits_signed(loop.final, 16) &&
+         fits_signed(loop.step, 8);
+}
+
+/// Marks hardware loops according to the machine's policy. Returns notes
+/// about demotions.
+std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
+                                         MachineKind machine,
+                                         std::span<const KNode> roots) {
+  std::vector<std::string> notes;
+  const auto demote_reason = [&notes](const LoopRec& rec, const char* why) {
+    notes.push_back("loop (index " +
+                    std::string(isa::reg_name(rec.node->index_reg)) +
+                    ") lowered to software: " + why);
+  };
+  // A hardware-managed index register is owned by the controller for the
+  // whole region: any kernel instruction writing it would desynchronize the
+  // RF copy from the controller's live index.
+  const auto index_clobbered = [&roots](const LoopRec& rec) {
+    return body_writes_reg(roots, rec.node->index_reg);
+  };
+
+  if (machine == MachineKind::kUZolc) {
+    // Pick the deepest innermost break-free loop; uZOLC handles exactly one.
+    int best = -1;
+    for (unsigned i = 0; i < loops.size(); ++i) {
+      const LoopRec& rec = loops[i];
+      if (!rec.innermost || rec.direct_break || rec.inside_if ||
+          index_clobbered(rec)) {
+        continue;
+      }
+      if (best < 0 || rec.depth > loops[static_cast<unsigned>(best)].depth) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      loops[static_cast<unsigned>(best)].hw = true;
+      loops[static_cast<unsigned>(best)].hw_id = 0;
+    }
+    for (const LoopRec& rec : loops) {
+      if (!rec.hw) demote_reason(rec, "uZOLC manages a single loop");
+    }
+    return notes;
+  }
+
+  const bool full = machine == MachineKind::kZolcFull;
+  // Top-down: a loop can be hardware only if its parent is (a hardware
+  // boundary inside a software loop would never re-trigger).
+  for (LoopRec& rec : loops) {
+    const bool parent_hw = rec.parent < 0 ||
+                           loops[static_cast<unsigned>(rec.parent)].hw;
+    if (!parent_hw) {
+      rec.hw = false;
+      demote_reason(rec, "enclosing loop is software");
+      continue;
+    }
+    if (rec.inside_if) {
+      rec.hw = false;
+      demote_reason(rec, "loop is under a conditional");
+      continue;
+    }
+    if (!full && rec.direct_break) {
+      rec.hw = false;
+      demote_reason(rec, "multi-exit loop needs ZOLCfull");
+      continue;
+    }
+    if (!bounds_fit_zolc_tables(*rec.node)) {
+      rec.hw = false;
+      demote_reason(rec, "bounds exceed the loop parameter table widths");
+      continue;
+    }
+    if (index_clobbered(rec)) {
+      rec.hw = false;
+      demote_reason(rec, "index register is written elsewhere in the kernel");
+      continue;
+    }
+    rec.hw = true;
+  }
+  // Two hardware loops may share an index register only when their initial
+  // values agree (reinit-on-exit leaves the register at `initial`, which is
+  // what the next entry of the sharing loop relies on).
+  for (unsigned i = 0; i < loops.size(); ++i) {
+    if (!loops[i].hw) continue;
+    for (unsigned j = 0; j < i; ++j) {
+      if (!loops[j].hw) continue;
+      if (loops[j].node->index_reg == loops[i].node->index_reg &&
+          loops[j].node->initial != loops[i].node->initial) {
+        loops[i].hw = false;
+        demote_reason(loops[i],
+                      "shares an index register with a loop of different "
+                      "initial value");
+        break;
+      }
+    }
+  }
+  // Closure of the nesting rule after late demotions: descendants of a
+  // software loop must be software (pre-order makes one pass sufficient).
+  for (LoopRec& rec : loops) {
+    if (rec.hw && rec.parent >= 0 &&
+        !loops[static_cast<unsigned>(rec.parent)].hw) {
+      rec.hw = false;
+      demote_reason(rec, "enclosing loop is software");
+    }
+  }
+  // Capacity: at most 8 hardware loops; demote the deepest first (children
+  // of a demoted loop must follow, which deepest-first ordering guarantees).
+  const auto hw_count = [&loops] {
+    return static_cast<unsigned>(
+        std::count_if(loops.begin(), loops.end(),
+                      [](const LoopRec& r) { return r.hw; }));
+  };
+  while (hw_count() > 8) {
+    int deepest = -1;
+    for (unsigned i = 0; i < loops.size(); ++i) {
+      if (!loops[i].hw) continue;
+      if (deepest < 0 ||
+          loops[i].depth > loops[static_cast<unsigned>(deepest)].depth) {
+        deepest = static_cast<int>(i);
+      }
+    }
+    loops[static_cast<unsigned>(deepest)].hw = false;
+    demote_reason(loops[static_cast<unsigned>(deepest)],
+                  "loop parameter table capacity (8) exceeded");
+  }
+  int next_id = 0;
+  for (LoopRec& rec : loops) {
+    if (rec.hw) rec.hw_id = next_id++;
+  }
+  return notes;
+}
+
+// ---------------- software emission (shared) ----------------
+
+struct LowerCtx {
+  MachineKind machine = MachineKind::kXrDefault;
+  std::vector<LoopRec>* loops = nullptr;  // null for pure-software lowering
+  std::unordered_map<const KFor*, int> loop_index;
+  struct PendingExit {
+    int branch_pos;
+    int exiting_loop;  // LoopRec index
+    int scope_loop;    // LoopRec index whose record bank the exit uses
+  };
+  std::vector<PendingExit> exits;
+  unsigned sw_loops_emitted = 0;
+  unsigned hw_loops_emitted = 0;
+};
+
+[[nodiscard]] int rec_of(LowerCtx& ctx, const KFor* node) {
+  const auto it = ctx.loop_index.find(node);
+  ZS_ASSERT(it != ctx.loop_index.end());
+  return it->second;
+}
+
+[[nodiscard]] bool is_hw(LowerCtx& ctx, const KFor* node) {
+  if (ctx.loops == nullptr) return false;
+  return (*ctx.loops)[static_cast<unsigned>(rec_of(ctx, node))].hw;
+}
+
+/// First boundary reached when executing the body of hardware loop `li`.
+int first_boundary(LowerCtx& ctx, int li);
+
+/// First boundary among `nodes` starting at element `from` (descending into
+/// the fb chain of the first hardware loop found); -1 if none.
+int first_boundary_of_rest(LowerCtx& ctx, std::span<const KNode> nodes,
+                           std::size_t from) {
+  for (std::size_t i = from; i < nodes.size(); ++i) {
+    if (const auto* kfor = std::get_if<KFor>(&nodes[i])) {
+      if (is_hw(ctx, kfor)) return first_boundary(ctx, rec_of(ctx, kfor));
+    }
+  }
+  return -1;
+}
+
+int first_boundary(LowerCtx& ctx, int li) {
+  const LoopRec& rec = (*ctx.loops)[static_cast<unsigned>(li)];
+  const int inner = first_boundary_of_rest(ctx, rec.node->body, 0);
+  return inner >= 0 ? inner : li;
+}
+
+struct EmitEnv {
+  unsigned depth = 0;       ///< loop nesting depth (pool register index)
+  int break_label = -1;     ///< innermost loop's exit label (sw break target)
+  int innermost_loop = -1;  ///< LoopRec index of innermost enclosing loop
+  int scope_loop = -1;      ///< hw loop whose boundary ends the current task
+};
+
+void emit_nodes(Emitter& e, LowerCtx& ctx, std::span<const KNode> nodes,
+                EmitEnv env);
+
+void emit_sw_for(Emitter& e, LowerCtx& ctx, const KFor& loop, EmitEnv env) {
+  ++ctx.sw_loops_emitted;
+  const std::uint8_t pool = kPoolRegs[env.depth];
+  const bool hrdwil = ctx.machine == MachineKind::kXrHrdwil;
+  const bool maintain_index = !hrdwil || body_reads_reg(loop.body,
+                                                        loop.index_reg);
+  if (maintain_index) e.emit_li(loop.index_reg, loop.initial);
+  if (hrdwil) {
+    e.emit_li(pool, static_cast<std::int32_t>(trip_count(loop)));
+  } else {
+    e.emit_li(pool, loop.final);
+  }
+  const int head = e.new_label();
+  const int brk = e.new_label();
+  e.bind(head);
+
+  EmitEnv inner = env;
+  inner.depth = env.depth + 1;
+  inner.break_label = brk;
+  inner.innermost_loop =
+      ctx.loops != nullptr && ctx.loop_index.count(&loop) != 0
+          ? rec_of(ctx, &loop)
+          : -1;
+  emit_nodes(e, ctx, loop.body, inner);
+
+  if (hrdwil) {
+    if (maintain_index) {
+      e.emit(b::addi(loop.index_reg, loop.index_reg, loop.step));
+    }
+    e.emit_branch(b::dbne(pool, 0), head);
+  } else {
+    e.emit(b::addi(loop.index_reg, loop.index_reg, loop.step));
+    if (loop.step > 0) {
+      e.emit_branch(b::blt(loop.index_reg, pool, 0), head);
+    } else {
+      e.emit_branch(b::blt(pool, loop.index_reg, 0), head);
+    }
+  }
+  e.bind(brk);
+}
+
+void emit_hw_for(Emitter& e, LowerCtx& ctx, const KFor& loop, EmitEnv env) {
+  ++ctx.hw_loops_emitted;
+  const int li = rec_of(ctx, &loop);
+  LoopRec& rec = (*ctx.loops)[static_cast<unsigned>(li)];
+  rec.body_start = e.pos();
+
+  const int after = e.new_label();  // break target: right after the body
+
+  EmitEnv inner = env;
+  inner.depth = env.depth + 1;
+  inner.break_label = after;
+  inner.innermost_loop = li;
+  inner.scope_loop = li;  // refined per-node inside emit_nodes
+  emit_nodes(e, ctx, loop.body, inner);
+
+  // A trailing conditional, or a trailing loop with break-outs (software or
+  // hardware), can transfer control past the last body instruction and skip
+  // this loop's task-end fetch; a terminating nop keeps the boundary (and
+  // gives hardware break-outs a landing strip inside this loop's region).
+  if (!loop.body.empty()) {
+    const KNode& last = loop.body.back();
+    const bool trailing_if = std::holds_alternative<KIf>(last);
+    const auto* trailing_for = std::get_if<KFor>(&last);
+    const bool trailing_breaky_for =
+        trailing_for != nullptr && contains_direct_break(trailing_for->body);
+    if (trailing_if || trailing_breaky_for) e.emit(b::nop());
+  }
+  ZS_ASSERT(e.pos() > rec.body_start);
+  rec.body_end = e.pos() - 1;
+  e.bind(after);
+}
+
+void emit_nodes(Emitter& e, LowerCtx& ctx, std::span<const KNode> nodes,
+                EmitEnv env) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const KNode& node = nodes[i];
+    // The task containing this point ends at the first hardware boundary
+    // ahead: either inside a following hardware sibling, or the enclosing
+    // scope's own end.
+    EmitEnv here = env;
+    if (ctx.loops != nullptr) {
+      const int ahead = first_boundary_of_rest(ctx, nodes, i + 1);
+      if (ahead >= 0) here.scope_loop = ahead;
+    }
+
+    if (const auto* kop = std::get_if<KOp>(&node)) {
+      e.emit(kop->instr);
+    } else if (const auto* kfor = std::get_if<KFor>(&node)) {
+      if (is_hw(ctx, kfor)) {
+        emit_hw_for(e, ctx, *kfor, here);
+      } else {
+        emit_sw_for(e, ctx, *kfor, here);
+      }
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      const int skip = e.new_label();
+      Instruction branch = b::branch(invert_branch(kif->cond), kif->rs,
+                                     kif->rt, 0);
+      e.emit_branch(branch, skip);
+      emit_nodes(e, ctx, kif->body, here);
+      e.bind(skip);
+    } else if (const auto* kbr = std::get_if<KBreakIf>(&node)) {
+      const int branch_pos = e.pos();
+      e.emit_branch(b::branch(kbr->cond, kbr->rs, kbr->rt, 0),
+                    env.break_label);
+      // Hardware-managed loop break: register a candidate-exit record,
+      // banked on the loop the controller is scoped to at this point.
+      if (ctx.loops != nullptr && env.innermost_loop >= 0 &&
+          (*ctx.loops)[static_cast<unsigned>(env.innermost_loop)].hw) {
+        ZS_ASSERT(here.scope_loop >= 0);
+        ctx.exits.push_back(
+            LowerCtx::PendingExit{branch_pos, env.innermost_loop,
+                                  here.scope_loop});
+      }
+    }
+  }
+}
+
+// ---------------- ZOLC task construction ----------------
+
+struct TaskPlan {
+  int start = 0;     ///< body-relative landing index
+  int boundary = 0;  ///< LoopRec index of the loop ending this task
+};
+
+struct ZolcPlan {
+  std::vector<TaskPlan> tasks;  ///< task id -> plan (id 0 = entry task)
+  std::vector<zolc::ExitRecord> exit_records;  // index = bank*4 + slot
+  unsigned exit_count = 0;
+};
+
+Result<ZolcPlan> build_task_plan(LowerCtx& ctx, std::span<const KNode> roots) {
+  std::vector<LoopRec>& loops = *ctx.loops;
+  ZolcPlan plan;
+
+  // after_boundary: the boundary reached after a loop completes.
+  std::vector<std::vector<int>> children_after(loops.size());
+  const std::function<void(std::span<const KNode>, int)> scan =
+      [&](std::span<const KNode> nodes, int parent) {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          if (const auto* kfor = std::get_if<KFor>(&nodes[i])) {
+            const int li = rec_of(ctx, kfor);
+            if (loops[static_cast<unsigned>(li)].hw) {
+              const int ahead = first_boundary_of_rest(ctx, nodes, i + 1);
+              loops[static_cast<unsigned>(li)].after_boundary =
+                  ahead >= 0 ? ahead : parent;
+              scan(kfor->body, li);
+            } else {
+              scan(kfor->body, parent);  // sw loop: no hw inside by policy
+            }
+          } else if (const auto* kif = std::get_if<KIf>(&nodes[i])) {
+            scan(kif->body, parent);
+          }
+        }
+      };
+  scan(roots, -1);
+
+  for (LoopRec& rec : loops) {
+    if (rec.hw) rec.fb = first_boundary(ctx, static_cast<int>(
+                                                 &rec - loops.data()));
+  }
+
+  // Task 0: entry landing at body offset 0.
+  const int entry_boundary = first_boundary_of_rest(ctx, roots, 0);
+  ZS_ASSERT(entry_boundary >= 0);
+  plan.tasks.push_back(TaskPlan{0, entry_boundary});
+
+  for (unsigned i = 0; i < loops.size(); ++i) {
+    LoopRec& rec = loops[i];
+    if (!rec.hw) continue;
+    rec.body_task = static_cast<int>(plan.tasks.size());
+    plan.tasks.push_back(TaskPlan{rec.body_start, rec.fb});
+    if (rec.after_boundary >= 0) {
+      rec.after_task = static_cast<int>(plan.tasks.size());
+      plan.tasks.push_back(TaskPlan{rec.body_end + 1, rec.after_boundary});
+    }
+  }
+  if (plan.tasks.size() > 32) {
+    return Error{"task selection LUT capacity (32) exceeded"};
+  }
+
+  // Candidate-exit records (ZOLCfull).
+  plan.exit_records.assign(zolc::kFullExitRecords, zolc::ExitRecord{});
+  std::array<unsigned, 8> used{};
+  for (const LowerCtx::PendingExit& pe : ctx.exits) {
+    const LoopRec& exiting = loops[static_cast<unsigned>(pe.exiting_loop)];
+    const LoopRec& scope = loops[static_cast<unsigned>(pe.scope_loop)];
+    ZS_ASSERT(exiting.hw && scope.hw);
+    const auto bank = static_cast<unsigned>(scope.hw_id);
+    if (used[bank] >= 4) {
+      return Error{"more than 4 candidate exits for one loop (ZOLCfull "
+                   "record capacity)"};
+    }
+    zolc::ExitRecord rec;
+    rec.branch_pc_ofs = 0;  // patched later (needs init length)
+    rec.next_task = exiting.after_task >= 0
+                        ? static_cast<std::uint8_t>(exiting.after_task)
+                        : 0;
+    rec.deactivate = exiting.after_boundary < 0;
+    rec.reinit_mask = static_cast<std::uint8_t>(1u << exiting.hw_id);
+    rec.valid = true;
+    plan.exit_records[bank * 4 + used[bank]] = rec;
+    // Remember which pending exit this record belongs to via exit_count
+    // ordering: records are patched in the same order below.
+    ++used[bank];
+    ++plan.exit_count;
+  }
+  return plan;
+}
+
+// ---------------- init sequence ----------------
+
+void emit_table_write(Emitter& e, Opcode op, std::uint8_t idx,
+                      std::uint32_t payload) {
+  // Fixed-length materialization keeps the init length independent of the
+  // payload values (needed because payloads contain offsets that depend on
+  // the init length itself).
+  e.emit(b::lui(kInitScratchReg, static_cast<std::int32_t>(payload >> 16)));
+  e.emit(b::ori(kInitScratchReg, kInitScratchReg,
+                static_cast<std::int32_t>(payload & 0xFFFFu)));
+  e.emit(b::zolc_write(op, idx, kInitScratchReg));
+}
+
+}  // namespace
+
+Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
+                      std::uint32_t base) {
+  if (auto v = validate(kernel, 0, false); !v.ok()) return v.error();
+
+  Program prog;
+  prog.base = base;
+  prog.machine = machine;
+
+  LowerCtx ctx;
+  ctx.machine = machine;
+
+  std::vector<LoopRec> loops;
+  const bool zolc_machine = machine_zolc_variant(machine).has_value();
+  if (zolc_machine) {
+    collect_loops(kernel, -1, 0, false, loops);
+    prog.notes = select_hw_loops(loops, machine, kernel);
+    ctx.loops = &loops;
+    for (unsigned i = 0; i < loops.size(); ++i) {
+      ctx.loop_index.emplace(loops[i].node, static_cast<int>(i));
+    }
+  }
+
+  // Emit the kernel body (positions relative to the body start).
+  Emitter body_emitter;
+  emit_nodes(body_emitter, ctx, kernel, EmitEnv{});
+  body_emitter.emit(b::halt());
+  auto body = body_emitter.finish();
+  if (!body.ok()) return body.error();
+
+  prog.hw_loop_count = ctx.hw_loops_emitted;
+  prog.sw_loop_count = ctx.sw_loops_emitted;
+
+  if (!zolc_machine || ctx.hw_loops_emitted == 0) {
+    if (zolc_machine) {
+      prog.notes.push_back("no hardware-eligible loops; pure software");
+    }
+    prog.code = std::move(body).value();
+    return prog;
+  }
+
+  Emitter init;
+  const auto variant = *machine_zolc_variant(machine);
+
+  if (variant == zolc::ZolcVariant::kMicro) {
+    // One loop; find it.
+    const LoopRec* hw = nullptr;
+    for (const LoopRec& rec : loops) {
+      if (rec.hw) hw = &rec;
+    }
+    ZS_ASSERT(hw != nullptr);
+    // init = 6 writes x3 + fixed 2-instruction index li (uZOLC bounds are
+    // full 32-bit) + base li32 + zolon (+ pad).
+    unsigned init_len = 6 * 3 + 2 + 2 + 1;
+    const unsigned pad =
+        static_cast<unsigned>(std::max(0, 2 - hw->body_end));
+    init_len += pad;
+
+    const std::uint32_t start_pc =
+        base + (init_len + static_cast<unsigned>(hw->body_start)) * 4;
+    const std::uint32_t end_pc =
+        base + (init_len + static_cast<unsigned>(hw->body_end)) * 4;
+    using MR = zolc::MicroReg;
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kInitial),
+                     static_cast<std::uint32_t>(hw->node->initial));
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kFinal),
+                     static_cast<std::uint32_t>(hw->node->final));
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kStep),
+                     static_cast<std::uint32_t>(hw->node->step));
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kStartPc),
+                     start_pc);
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kEndPc),
+                     end_pc);
+    emit_table_write(init, Opcode::kZolwU, static_cast<std::uint8_t>(MR::kCtrl),
+                     zolc::pack_micro_ctrl(hw->node->index_reg,
+                                           hw->node->step > 0
+                                               ? zolc::LoopCond::kLt
+                                               : zolc::LoopCond::kGt));
+    const auto uinit = static_cast<std::uint32_t>(hw->node->initial);
+    init.emit(b::lui(hw->node->index_reg,
+                     static_cast<std::int32_t>(uinit >> 16)));
+    init.emit(b::ori(hw->node->index_reg, hw->node->index_reg,
+                     static_cast<std::int32_t>(uinit & 0xFFFFu)));
+    init.emit(b::lui(kInitBaseReg, static_cast<std::int32_t>(base >> 16)));
+    init.emit(b::ori(kInitBaseReg, kInitBaseReg,
+                     static_cast<std::int32_t>(base & 0xFFFFu)));
+    init.emit(b::zolon(0, kInitBaseReg));
+    for (unsigned i = 0; i < pad; ++i) init.emit(b::nop());
+    ZS_ASSERT(static_cast<unsigned>(init.pos()) == init_len);
+    prog.init_instructions = init_len;
+
+    auto init_code = init.finish();
+    ZS_ASSERT(init_code.ok());
+    prog.code = std::move(init_code).value();
+    auto body_code = std::move(body).value();
+    prog.code.insert(prog.code.end(), body_code.begin(), body_code.end());
+    return prog;
+  }
+
+  // ZOLClite / ZOLCfull: build the task plan, then the init sequence.
+  auto plan_result = build_task_plan(ctx, kernel);
+  if (!plan_result.ok()) return plan_result.error();
+  ZolcPlan& plan = plan_result.value();
+
+  const unsigned hw_count = ctx.hw_loops_emitted;
+  const auto task_count = static_cast<unsigned>(plan.tasks.size());
+  const unsigned exit_count = plan.exit_count;
+  unsigned init_len =
+      3 * (2 * hw_count + 2 * task_count + exit_count) + hw_count + 2 + 1;
+  const int first_end =
+      loops[static_cast<unsigned>(plan.tasks[0].boundary)].body_end;
+  const unsigned pad = static_cast<unsigned>(std::max(0, 2 - first_end));
+  init_len += pad;
+
+  const auto rel_to_ofs = [init_len](int rel) {
+    return static_cast<std::uint16_t>(init_len + static_cast<unsigned>(rel));
+  };
+
+  // Loop parameter tables.
+  for (const LoopRec& rec : loops) {
+    if (!rec.hw) continue;
+    zolc::LoopEntry entry;
+    entry.initial = static_cast<std::int16_t>(rec.node->initial);
+    entry.final = static_cast<std::int16_t>(rec.node->final);
+    entry.step = static_cast<std::int8_t>(rec.node->step);
+    entry.index_rf = rec.node->index_reg;
+    entry.cond = rec.node->step > 0 ? zolc::LoopCond::kLt
+                                    : zolc::LoopCond::kGt;
+    entry.valid = true;
+    emit_table_write(init, Opcode::kZolwLp0,
+                     static_cast<std::uint8_t>(rec.hw_id),
+                     entry.pack_word0());
+    emit_table_write(init, Opcode::kZolwLp1,
+                     static_cast<std::uint8_t>(rec.hw_id),
+                     entry.pack_word1());
+  }
+  // Task selection LUT + task-start table.
+  for (unsigned t = 0; t < task_count; ++t) {
+    const TaskPlan& tp = plan.tasks[t];
+    const LoopRec& boundary = loops[static_cast<unsigned>(tp.boundary)];
+    zolc::TaskEntry te;
+    te.end_pc_ofs = rel_to_ofs(boundary.body_end);
+    te.loop_id = static_cast<std::uint8_t>(boundary.hw_id);
+    te.next_task_cont = static_cast<std::uint8_t>(boundary.body_task);
+    te.next_task_done = boundary.after_task >= 0
+                            ? static_cast<std::uint8_t>(boundary.after_task)
+                            : 0;
+    te.is_last = boundary.after_boundary < 0;
+    te.valid = true;
+    emit_table_write(init, Opcode::kZolwTe, static_cast<std::uint8_t>(t),
+                     te.pack());
+    emit_table_write(init, Opcode::kZolwTs, static_cast<std::uint8_t>(t),
+                     rel_to_ofs(tp.start));
+  }
+  // Candidate-exit records, patched with absolute offsets.
+  {
+    std::array<unsigned, 8> used{};
+    for (const LowerCtx::PendingExit& pe : ctx.exits) {
+      const LoopRec& scope = loops[static_cast<unsigned>(pe.scope_loop)];
+      const auto bank = static_cast<unsigned>(scope.hw_id);
+      const unsigned slot = used[bank]++;
+      zolc::ExitRecord rec = plan.exit_records[bank * 4 + slot];
+      rec.branch_pc_ofs = rel_to_ofs(pe.branch_pos);
+      emit_table_write(init, Opcode::kZolwEx0,
+                       static_cast<std::uint8_t>(bank * 4 + slot),
+                       rec.pack_lo());
+    }
+  }
+  // Index registers get their first-iteration values in software.
+  for (const LoopRec& rec : loops) {
+    if (!rec.hw) continue;
+    init.emit(b::addi(rec.node->index_reg, 0,
+                      static_cast<std::int32_t>(rec.node->initial)));
+  }
+  init.emit(b::lui(kInitBaseReg, static_cast<std::int32_t>(base >> 16)));
+  init.emit(b::ori(kInitBaseReg, kInitBaseReg,
+                   static_cast<std::int32_t>(base & 0xFFFFu)));
+  init.emit(b::zolon(0, kInitBaseReg));  // task 0 = entry task
+  for (unsigned i = 0; i < pad; ++i) init.emit(b::nop());
+  ZS_ASSERT(static_cast<unsigned>(init.pos()) == init_len);
+  prog.init_instructions = init_len;
+
+  auto init_code = init.finish();
+  ZS_ASSERT(init_code.ok());
+  prog.code = std::move(init_code).value();
+  auto body_code = std::move(body).value();
+  prog.code.insert(prog.code.end(), body_code.begin(), body_code.end());
+  return prog;
+}
+
+}  // namespace zolcsim::codegen

@@ -1,0 +1,50 @@
+// Lowering: KIR kernel -> runnable machine program for each machine
+// configuration. The three strategies differ only in loop-overhead handling:
+//
+//   XRdefault  -- software loops: index init + per-iteration index update,
+//                 bound compare-and-branch, taken-branch flush.
+//   XRhrdwil   -- counted loops collapse the update/compare/branch pattern
+//                 into one `dbne` on a dedicated down-counter (the index is
+//                 maintained only if the body reads it).
+//   uZOLC      -- the single hottest innermost loop is hardware-managed;
+//                 everything else is software. The controller stays armed,
+//                 so software outer loops re-enter it for free.
+//   ZOLClite   -- every eligible loop is hardware-managed via the task
+//                 LUT; loops with data-dependent break-outs (and loops under
+//                 conditionals, plus their descendants) fall back to
+//                 software.
+//   ZOLCfull   -- like lite, and break-outs become candidate-exit records,
+//                 so multi-exit loops are hardware-managed too.
+//
+// The ZOLC lowerings emit the initialization instruction sequence (zolw.*,
+// zolon) ahead of the kernel body -- the paper's "initialization mode",
+// executed once outside the loop nest.
+#ifndef ZOLCSIM_CODEGEN_LOWER_HPP
+#define ZOLCSIM_CODEGEN_LOWER_HPP
+
+#include <span>
+
+#include "codegen/kir.hpp"
+#include "codegen/program.hpp"
+#include "common/result.hpp"
+
+namespace zolcsim::codegen {
+
+/// Registers reserved for the lowering (software loop bounds / down-counters
+/// by nesting depth, and ZOLC init scratch). Kernels must not use them.
+inline constexpr std::uint8_t kPoolRegs[4] = {24, 25, 26, 27};
+inline constexpr std::uint8_t kInitScratchReg = 24;
+inline constexpr std::uint8_t kInitBaseReg = 25;
+
+/// Lowers `kernel` for `machine`. The resulting program is complete and
+/// runnable (terminated by halt) at `base`. Returns an Error for malformed
+/// kernels (zero-trip loops, reserved-register use, raw control flow in
+/// KOps, index registers written by the body, nesting too deep, or ZOLC
+/// capacity overruns that have no software fallback).
+[[nodiscard]] Result<Program> lower(std::span<const KNode> kernel,
+                                    MachineKind machine,
+                                    std::uint32_t base = 0x1000);
+
+}  // namespace zolcsim::codegen
+
+#endif  // ZOLCSIM_CODEGEN_LOWER_HPP

@@ -1,0 +1,16 @@
+#include "codegen/program.hpp"
+
+#include "isa/encoding.hpp"
+
+namespace zolcsim::codegen {
+
+void Program::load_into(mem::Memory& memory) const {
+  std::vector<std::uint32_t> words;
+  words.reserve(code.size());
+  for (const isa::Instruction& instr : code) {
+    words.push_back(isa::encode(instr));
+  }
+  memory.load_words(base, words);
+}
+
+}  // namespace zolcsim::codegen

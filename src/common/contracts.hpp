@@ -1,0 +1,62 @@
+// Contract-checking macros in the style of the C++ Core Guidelines' Expects /
+// Ensures (I.6, I.8). Violations signal programming errors and throw
+// ContractViolation so tests can assert on them; they are never used for
+// expected runtime failures (those use Result<T>).
+#ifndef ZOLCSIM_COMMON_CONTRACTS_HPP
+#define ZOLCSIM_COMMON_CONTRACTS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace zolcsim {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+
+}  // namespace detail
+}  // namespace zolcsim
+
+/// Precondition check: argument/state requirements at function entry.
+#define ZS_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::zolcsim::detail::contract_fail("precondition", #cond, __FILE__,   \
+                                       __LINE__);                         \
+    }                                                                     \
+  } while (false)
+
+/// Postcondition check: guarantees at function exit.
+#define ZS_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::zolcsim::detail::contract_fail("postcondition", #cond, __FILE__,  \
+                                       __LINE__);                         \
+    }                                                                     \
+  } while (false)
+
+/// Internal invariant check (mid-function assertions).
+#define ZS_ASSERT(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::zolcsim::detail::contract_fail("invariant", #cond, __FILE__,      \
+                                       __LINE__);                         \
+    }                                                                     \
+  } while (false)
+
+/// Marks unreachable control flow.
+#define ZS_UNREACHABLE(msg)                                               \
+  ::zolcsim::detail::contract_fail("unreachable", msg, __FILE__, __LINE__)
+
+#endif  // ZOLCSIM_COMMON_CONTRACTS_HPP

@@ -1,0 +1,59 @@
+// Minimal leveled logger. No global mutable state beyond the level knob;
+// output goes to stderr so benchmark/table output on stdout stays clean.
+#ifndef ZOLCSIM_COMMON_LOGGING_HPP
+#define ZOLCSIM_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string_view>
+
+namespace zolcsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global log threshold (default kWarn).
+LogLevel log_level() noexcept;
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view message);
+}  // namespace detail
+
+/// Logs `message` if `level` passes the threshold.
+inline void log(LogLevel level, std::string_view message) {
+  if (level >= log_level() && log_level() != LogLevel::kOff) {
+    detail::log_emit(level, message);
+  }
+}
+
+}  // namespace zolcsim
+
+#define ZS_LOG_DEBUG(msg)                                        \
+  do {                                                           \
+    if (::zolcsim::log_level() <= ::zolcsim::LogLevel::kDebug) { \
+      std::ostringstream zs_log_os;                              \
+      zs_log_os << msg;                                          \
+      ::zolcsim::log(::zolcsim::LogLevel::kDebug, zs_log_os.str()); \
+    }                                                            \
+  } while (false)
+
+#define ZS_LOG_INFO(msg)                                         \
+  do {                                                           \
+    if (::zolcsim::log_level() <= ::zolcsim::LogLevel::kInfo) {  \
+      std::ostringstream zs_log_os;                              \
+      zs_log_os << msg;                                          \
+      ::zolcsim::log(::zolcsim::LogLevel::kInfo, zs_log_os.str()); \
+    }                                                            \
+  } while (false)
+
+#define ZS_LOG_WARN(msg)                                         \
+  do {                                                           \
+    if (::zolcsim::log_level() <= ::zolcsim::LogLevel::kWarn) {  \
+      std::ostringstream zs_log_os;                              \
+      zs_log_os << msg;                                          \
+      ::zolcsim::log(::zolcsim::LogLevel::kWarn, zs_log_os.str()); \
+    }                                                            \
+  } while (false)
+
+#endif  // ZOLCSIM_COMMON_LOGGING_HPP

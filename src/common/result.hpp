@@ -1,0 +1,91 @@
+// Result<T>: a lightweight expected-like type for operations with anticipated
+// failure modes (parsing, assembling, configuration). Per the Core Guidelines
+// (E.2/E.14 area), exceptions are reserved for contract violations and
+// simulator traps; everything a caller is expected to handle flows through
+// Result.
+#ifndef ZOLCSIM_COMMON_RESULT_HPP
+#define ZOLCSIM_COMMON_RESULT_HPP
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim {
+
+/// An error with a human-readable message and optional source location info
+/// (used by the assembler to report line numbers).
+struct Error {
+  std::string message;
+  int line = 0;  ///< 1-based source line when applicable; 0 = not applicable.
+
+  [[nodiscard]] std::string to_string() const {
+    if (line > 0) {
+      return "line " + std::to_string(line) + ": " + message;
+    }
+    return message;
+  }
+};
+
+/// Holds either a value of type T or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so `return value;` and `return error;` both work
+  // at call sites (mirrors std::expected).
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Value access. Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    ZS_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    ZS_EXPECTS(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    ZS_EXPECTS(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Error access. Precondition: !ok().
+  [[nodiscard]] const Error& error() const& {
+    ZS_EXPECTS(!ok());
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no value to return.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return !has_error_; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const& {
+    ZS_EXPECTS(!ok());
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool has_error_ = false;
+};
+
+}  // namespace zolcsim
+
+#endif  // ZOLCSIM_COMMON_RESULT_HPP

@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ZS_EXPECTS(!headers_.empty());
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  ZS_EXPECTS(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  ZS_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() {
+  rows_.push_back(Row{{}, /*separator=*/true});
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::ostringstream& os, const std::string& text,
+                             std::size_t c) {
+    const std::size_t pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << text;
+    else os << text << std::string(pad, ' ');
+  };
+
+  const auto emit_separator = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) os << "-+-";
+      os << std::string(widths[c], '-');
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) os << " | ";
+    emit_cell(os, headers_[c], c);
+  }
+  os << '\n';
+  emit_separator(os);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator(os);
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      emit_cell(os, row.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii_bar(double value, double scale, int max_width) {
+  ZS_EXPECTS(scale > 0.0 && max_width > 0);
+  const double clamped = std::clamp(value, 0.0, scale);
+  const int n = static_cast<int>(clamped / scale * max_width + 0.5);
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace zolcsim

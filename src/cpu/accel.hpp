@@ -1,0 +1,86 @@
+// LoopAccelerator: the interface between the processor model and a
+// zero-overhead loop controller. The CPU module depends only on this
+// interface; src/zolc provides the implementations (uZOLC / ZOLClite /
+// ZOLCfull). The interface mirrors the hardware hookup in Fig. 1 of the
+// paper: the instruction decoder drives init-mode writes, the PC decoding
+// unit exchanges task-end / redirect / candidate-exit information, and the
+// register file receives index write-backs.
+#ifndef ZOLCSIM_CPU_ACCEL_HPP
+#define ZOLCSIM_CPU_ACCEL_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/opcodes.hpp"
+
+namespace zolcsim::cpu {
+
+/// An index write-back destined for the integer register file through the
+/// ZOLC's dedicated write port.
+struct RfWrite {
+  std::uint8_t reg = 0;
+  std::int32_t value = 0;
+
+  friend bool operator==(const RfWrite&, const RfWrite&) = default;
+};
+
+/// Result of a fetch-time or resolution-time ZOLC event.
+struct AccelEvent {
+  /// New fetch target (task switching); nullopt = fall through.
+  std::optional<std::uint32_t> redirect;
+  /// Index write-backs. The pipeline applies them when the triggering
+  /// instruction becomes non-speculative (entering its resolution stage).
+  std::vector<RfWrite> rf_writes;
+};
+
+/// Architectural controller state that changes in active mode; saved before
+/// each speculative fetch-time event and restored on wrong-path flushes.
+struct AccelSnapshot {
+  std::array<std::int32_t, 8> loop_current{};
+  std::int32_t micro_current = 0;
+  std::uint8_t current_task = 0;
+  bool active = false;
+
+  friend bool operator==(const AccelSnapshot&, const AccelSnapshot&) = default;
+};
+
+class LoopAccelerator {
+ public:
+  virtual ~LoopAccelerator() = default;
+
+  /// Initialization-mode table write (zolw.* instructions). `op` selects the
+  /// table, `idx` the entry, `value` the payload (from GPR rs).
+  virtual void init_write(isa::Opcode op, std::uint8_t idx,
+                          std::uint32_t value) = 0;
+
+  /// zolon: switch to active mode starting at `start_task`, with table PC
+  /// offsets relative to byte address `base`.
+  virtual void activate(std::uint8_t start_task, std::uint32_t base) = 0;
+
+  /// zoloff: leave active mode.
+  virtual void deactivate() = 0;
+
+  /// Cheap check: would on_fetch(pc) produce an event? Used by the pipeline
+  /// to avoid snapshots on the common path and by the fetch-gating policy.
+  [[nodiscard]] virtual bool will_trigger(std::uint32_t pc) const = 0;
+
+  /// Fetch-time hook ("PC decode" side): if `pc` ends the current task,
+  /// performs the task switch (including combinational cascades across
+  /// shared nest boundaries) and returns the redirect + index write-backs.
+  virtual std::optional<AccelEvent> on_fetch(std::uint32_t pc) = 0;
+
+  /// Resolution-time hook: a taken branch/jump at `pc` targeting `target`.
+  /// Matches candidate exit records (loop break-outs) and entry records
+  /// (multi-entry loops); returns reinit write-backs when one matches.
+  virtual std::optional<AccelEvent> on_taken_control(std::uint32_t pc,
+                                                     std::uint32_t target) = 0;
+
+  [[nodiscard]] virtual AccelSnapshot snapshot() const = 0;
+  virtual void restore(const AccelSnapshot& snapshot) = 0;
+};
+
+}  // namespace zolcsim::cpu
+
+#endif  // ZOLCSIM_CPU_ACCEL_HPP

@@ -1,0 +1,48 @@
+// Shared functional semantics: pure ALU evaluation and branch decisions used
+// identically by the ISS (golden model) and the pipeline's EX stage, so the
+// two simulators cannot diverge on instruction behaviour.
+#ifndef ZOLCSIM_CPU_EXEC_HPP
+#define ZOLCSIM_CPU_EXEC_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace zolcsim::cpu {
+
+/// Thrown on simulator traps: illegal instruction, disabled ISA extension,
+/// runaway execution.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Operand bundle for alu_eval. `a` = rs value, `b` = rt value or extended
+/// immediate (per format), `acc` = rd value for accumulating ops (mac).
+struct AluInputs {
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t acc = 0;
+  std::uint8_t shamt = 0;
+};
+
+/// Evaluates the ALU/DSP result of `op`. For jal/jalr pass the link value
+/// through `in.acc`. Precondition: op has an ALU result (not a pure branch,
+/// store, or zolc op).
+[[nodiscard]] std::int32_t alu_eval(isa::Opcode op, const AluInputs& in);
+
+/// Branch decision for conditional branches. For dbne, `rs` must be the
+/// *decremented* value (rs_old - 1).
+[[nodiscard]] bool branch_taken(isa::Opcode op, std::int32_t rs,
+                                std::int32_t rt);
+
+/// True iff `op` produces its operand `b` from the immediate field
+/// (I-type ALU and memory address computation).
+[[nodiscard]] bool uses_immediate_operand(isa::Opcode op);
+
+}  // namespace zolcsim::cpu
+
+#endif  // ZOLCSIM_CPU_EXEC_HPP

@@ -1,0 +1,195 @@
+#include "cpu/iss.hpp"
+
+#include "common/strings.hpp"
+#include "isa/encoding.hpp"
+
+namespace zolcsim::cpu {
+
+namespace {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+}  // namespace
+
+void Iss::step() {
+  if (halted_) return;
+
+  const std::uint32_t word = mem_.fetch32(pc_);
+  const Instruction instr = isa::decode(word);
+  if (!instr.valid()) {
+    throw SimError("illegal instruction " + hex32(word) + " at " + hex32(pc_));
+  }
+  const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+
+  // Fetch-time ZOLC event (speculative: discarded if this instruction is a
+  // taken control transfer, mirroring the pipeline's rollback).
+  std::optional<AccelEvent> fetch_event;
+  AccelSnapshot pre_fetch{};
+  if (accel_ != nullptr && accel_->will_trigger(pc_)) {
+    pre_fetch = accel_->snapshot();
+    fetch_event = accel_->on_fetch(pc_);
+    ++stats_.zolc_fetch_events;
+  }
+
+  // Operand reads (before any write-backs of this step).
+  const std::int32_t rs_val = regs_.read(instr.rs);
+  const std::int32_t rt_val = regs_.read(instr.rt);
+  const std::int32_t rd_val = regs_.read(instr.rd);
+
+  bool taken_control = false;
+  std::uint32_t control_target = 0;
+
+  switch (info.format) {
+    case Format::kR3:
+    case Format::kR3Acc:
+    case Format::kR2:
+    case Format::kR1:
+    case Format::kRShift: {
+      if (instr.op == Opcode::kJr || instr.op == Opcode::kJalr) {
+        taken_control = true;
+        control_target = static_cast<std::uint32_t>(rs_val);
+        if (instr.op == Opcode::kJalr) {
+          regs_.write(instr.rd, static_cast<std::int32_t>(pc_ + 4));
+        }
+        break;
+      }
+      AluInputs in;
+      in.a = rs_val;
+      in.b = rt_val;
+      in.acc = rd_val;
+      in.shamt = instr.shamt;
+      regs_.write(instr.rd, alu_eval(instr.op, in));
+      break;
+    }
+    case Format::kI:
+    case Format::kLui: {
+      AluInputs in;
+      in.a = rs_val;
+      in.b = instr.imm;
+      regs_.write(instr.rt, alu_eval(instr.op, in));
+      break;
+    }
+    case Format::kBranchCmp:
+    case Format::kBranchZero: {
+      std::int32_t lhs = rs_val;
+      if (instr.op == Opcode::kDbne) {
+        lhs = alu_eval(Opcode::kDbne, AluInputs{rs_val, 0, 0, 0});
+        regs_.write(instr.rs, lhs);
+      }
+      if (branch_taken(instr.op, lhs, rt_val)) {
+        taken_control = true;
+        control_target = isa::branch_target(instr, pc_);
+      }
+      break;
+    }
+    case Format::kMem: {
+      const auto addr = static_cast<std::uint32_t>(
+          rs_val + instr.imm);
+      switch (instr.op) {
+        case Opcode::kLb:
+          regs_.write(instr.rt, static_cast<std::int8_t>(mem_.read8(addr)));
+          break;
+        case Opcode::kLbu:
+          regs_.write(instr.rt, mem_.read8(addr));
+          break;
+        case Opcode::kLh:
+          regs_.write(instr.rt, static_cast<std::int16_t>(mem_.read16(addr)));
+          break;
+        case Opcode::kLhu:
+          regs_.write(instr.rt, mem_.read16(addr));
+          break;
+        case Opcode::kLw:
+          regs_.write(instr.rt,
+                      static_cast<std::int32_t>(mem_.read32(addr)));
+          break;
+        case Opcode::kSb:
+          mem_.write8(addr, static_cast<std::uint8_t>(rt_val));
+          break;
+        case Opcode::kSh:
+          mem_.write16(addr, static_cast<std::uint16_t>(rt_val));
+          break;
+        case Opcode::kSw:
+          mem_.write32(addr, static_cast<std::uint32_t>(rt_val));
+          break;
+        default:
+          ZS_UNREACHABLE("memory format without memory opcode");
+      }
+      break;
+    }
+    case Format::kJump: {
+      taken_control = true;
+      control_target = isa::jump_target(instr, pc_);
+      if (instr.op == Opcode::kJal) {
+        regs_.write(31, static_cast<std::int32_t>(pc_ + 4));
+      }
+      break;
+    }
+    case Format::kZolcWrite:
+    case Format::kZolcNone: {
+      if (accel_ == nullptr) {
+        throw SimError("ZOLC instruction at " + hex32(pc_) +
+                       " with no loop accelerator attached");
+      }
+      if (instr.op == Opcode::kZolOn) {
+        accel_->activate(instr.zidx, static_cast<std::uint32_t>(rs_val));
+      } else if (instr.op == Opcode::kZolOff) {
+        accel_->deactivate();
+      } else {
+        accel_->init_write(instr.op, instr.zidx,
+                           static_cast<std::uint32_t>(rs_val));
+      }
+      break;
+    }
+    case Format::kNone: {
+      if (instr.op == Opcode::kHalt) halted_ = true;
+      break;
+    }
+  }
+
+  ++stats_.instructions;
+  if (retire_hook_) retire_hook_(pc_, instr);
+
+  if (taken_control) {
+    ++stats_.taken_control;
+    // The fetch-time speculation assumed fall-through; discard it.
+    if (fetch_event) {
+      accel_->restore(pre_fetch);
+    }
+    if (accel_ != nullptr) {
+      if (auto resolution = accel_->on_taken_control(pc_, control_target)) {
+        ++stats_.zolc_resolution_events;
+        for (const RfWrite& w : resolution->rf_writes) {
+          regs_.write(w.reg, w.value);
+        }
+      }
+    }
+    pc_ = control_target;
+    return;
+  }
+
+  if (fetch_event) {
+    for (const RfWrite& w : fetch_event->rf_writes) {
+      regs_.write(w.reg, w.value);
+    }
+    pc_ = fetch_event->redirect.value_or(pc_ + 4);
+    return;
+  }
+  pc_ += 4;
+}
+
+std::uint64_t Iss::run(std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (!halted_) {
+    if (executed >= max_steps) {
+      throw SimError("ISS step limit (" + std::to_string(max_steps) +
+                     ") exceeded at pc " + hex32(pc_));
+    }
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace zolcsim::cpu

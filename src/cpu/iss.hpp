@@ -1,0 +1,71 @@
+// Instruction-set simulator (functional golden model). Executes one
+// instruction per step with ZOLC semantics identical to the pipeline's:
+// fetch-time task-end events are speculated and rolled back if the
+// triggering instruction turns out to be a taken control transfer. Used for
+// co-simulation tests against the cycle-accurate pipeline and for fast
+// functional verification of kernels.
+#ifndef ZOLCSIM_CPU_ISS_HPP
+#define ZOLCSIM_CPU_ISS_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "cpu/accel.hpp"
+#include "cpu/exec.hpp"
+#include "cpu/regfile.hpp"
+#include "mem/memory.hpp"
+
+namespace zolcsim::cpu {
+
+/// Observer invoked once per architecturally executed instruction, in
+/// program order. Shared by the ISS and the pipeline so retirement streams
+/// can be compared instruction-by-instruction.
+using RetireHook =
+    std::function<void(std::uint32_t pc, const isa::Instruction& instr)>;
+
+struct IssStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t taken_control = 0;
+  std::uint64_t zolc_fetch_events = 0;
+  std::uint64_t zolc_resolution_events = 0;
+};
+
+class Iss {
+ public:
+  explicit Iss(mem::Memory& memory) : mem_(memory) {}
+
+  /// Attaches a loop accelerator (non-owning; may be nullptr).
+  void set_accelerator(LoopAccelerator* accel) noexcept { accel_ = accel; }
+
+  /// Observer called after each executed instruction.
+  void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+  void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  [[nodiscard]] RegFile& regs() noexcept { return regs_; }
+  [[nodiscard]] const RegFile& regs() const noexcept { return regs_; }
+  [[nodiscard]] const IssStats& stats() const noexcept { return stats_; }
+
+  /// Executes one instruction. No-op when halted. Throws SimError on an
+  /// invalid instruction or a ZOLC instruction with no accelerator attached.
+  void step();
+
+  /// Runs until halt or `max_steps`. Returns the number of instructions
+  /// executed by this call. Throws SimError if the limit is hit.
+  std::uint64_t run(std::uint64_t max_steps);
+
+ private:
+  mem::Memory& mem_;
+  RegFile regs_;
+  LoopAccelerator* accel_ = nullptr;
+  RetireHook retire_hook_;
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  IssStats stats_;
+};
+
+}  // namespace zolcsim::cpu
+
+#endif  // ZOLCSIM_CPU_ISS_HPP

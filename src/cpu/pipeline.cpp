@@ -1,0 +1,461 @@
+#include "cpu/pipeline.hpp"
+
+#include "common/strings.hpp"
+
+namespace zolcsim::cpu {
+
+namespace {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+bool is_zolc_instr(const Instruction& instr) {
+  return isa::opcode_info(instr.op).is_zolc;
+}
+
+}  // namespace
+
+Pipeline::Pipeline(mem::Memory& memory, PipelineConfig config)
+    : mem_(memory), config_(config) {}
+
+std::int32_t Pipeline::forward_to_ex(const Latches& cur, std::uint8_t reg,
+                                     std::int32_t id_value) const {
+  if (!config_.forwarding || reg == 0) return id_value;
+  // Youngest producer wins: EX/MEM latch first, then MEM/WB.
+  if (cur.ex_mem.valid && cur.ex_mem.dest && *cur.ex_mem.dest == reg &&
+      !cur.ex_mem.is_load) {
+    return cur.ex_mem.alu;
+  }
+  if (cur.mem_wb.valid && cur.mem_wb.dest && *cur.mem_wb.dest == reg) {
+    return cur.mem_wb.value;
+  }
+  return id_value;
+}
+
+std::int32_t Pipeline::read_in_id(const Latches& cur, std::uint8_t reg) const {
+  // The register file was already updated by this cycle's WB (write-before-
+  // read). The only in-flight value visible to ID is the previous EX result.
+  if (config_.forwarding && reg != 0 && cur.ex_mem.valid && cur.ex_mem.dest &&
+      *cur.ex_mem.dest == reg && !cur.ex_mem.is_load) {
+    return cur.ex_mem.alu;
+  }
+  return regs_.read(reg);
+}
+
+bool Pipeline::writes_reg(const std::optional<std::uint8_t>& dest,
+                          const isa::SourceRegs& srcs) const {
+  if (!dest) return false;
+  for (std::uint8_t i = 0; i < srcs.count; ++i) {
+    if (srcs.regs[i] == *dest) return true;
+  }
+  return false;
+}
+
+bool Pipeline::control_in_flight(const Latches& cur) const {
+  if (cur.if_id.valid && cur.if_id.instr.valid() &&
+      isa::is_control_flow(cur.if_id.instr)) {
+    return true;
+  }
+  if (config_.branch_resolve == BranchResolveStage::kExecute &&
+      cur.id_ex.valid && cur.id_ex.instr.valid() &&
+      isa::is_control_flow(cur.id_ex.instr)) {
+    return true;
+  }
+  return false;
+}
+
+void Pipeline::cycle() {
+  if (halted_) return;
+  const Latches cur = latches_;
+  Latches next;
+
+  // Redirect bookkeeping for this cycle.
+  bool redirect = false;
+  std::uint32_t redirect_target = 0;
+  std::uint32_t resolved_pc = 0;
+  bool redirect_from_ex = false;
+  // Oldest accel snapshot to restore on a wrong-path rollback.
+  std::optional<AccelSnapshot> rollback_to;
+
+  // ---------------- WB ----------------
+  if (cur.mem_wb.valid) {
+    // Commit-time illegal-instruction trap: wrong-path garbage never gets
+    // here (squashed at resolution), correct-path garbage traps precisely.
+    if (!cur.mem_wb.instr.valid()) {
+      throw SimError("illegal instruction at " + hex32(cur.mem_wb.pc));
+    }
+    if (cur.mem_wb.dest) regs_.write(*cur.mem_wb.dest, cur.mem_wb.value);
+    ++stats_.instructions;
+    if (retire_hook_) retire_hook_(cur.mem_wb.pc, cur.mem_wb.instr);
+    if (is_zolc_instr(cur.mem_wb.instr)) ++stats_.zolc_init_instructions;
+    if (cur.mem_wb.instr.op == Opcode::kHalt) halted_ = true;
+  }
+
+  // ---------------- MEM ----------------
+  if (cur.ex_mem.valid) {
+    MemWb wb;
+    wb.valid = true;
+    wb.pc = cur.ex_mem.pc;
+    wb.instr = cur.ex_mem.instr;
+    wb.dest = cur.ex_mem.dest;
+    wb.value = cur.ex_mem.alu;
+    if (cur.ex_mem.is_load) {
+      const auto addr = static_cast<std::uint32_t>(cur.ex_mem.alu);
+      switch (cur.ex_mem.instr.op) {
+        case Opcode::kLb:
+          wb.value = static_cast<std::int8_t>(mem_.read8(addr));
+          break;
+        case Opcode::kLbu:
+          wb.value = mem_.read8(addr);
+          break;
+        case Opcode::kLh:
+          wb.value = static_cast<std::int16_t>(mem_.read16(addr));
+          break;
+        case Opcode::kLhu:
+          wb.value = mem_.read16(addr);
+          break;
+        case Opcode::kLw:
+          wb.value = static_cast<std::int32_t>(mem_.read32(addr));
+          break;
+        default:
+          ZS_UNREACHABLE("load without load opcode");
+      }
+      ++stats_.loads;
+    } else if (cur.ex_mem.is_store) {
+      const auto addr = static_cast<std::uint32_t>(cur.ex_mem.alu);
+      const auto value = static_cast<std::uint32_t>(cur.ex_mem.store_val);
+      switch (cur.ex_mem.instr.op) {
+        case Opcode::kSb:
+          mem_.write8(addr, static_cast<std::uint8_t>(value));
+          break;
+        case Opcode::kSh:
+          mem_.write16(addr, static_cast<std::uint16_t>(value));
+          break;
+        case Opcode::kSw:
+          mem_.write32(addr, value);
+          break;
+        default:
+          ZS_UNREACHABLE("store without store opcode");
+      }
+      ++stats_.stores;
+    }
+    next.mem_wb = wb;
+  }
+
+  // ---------------- EX ----------------
+  if (cur.id_ex.valid && !cur.id_ex.instr.valid()) {
+    // Pass invalid instructions through as inert bubbles; they trap at WB.
+    ExMem ex;
+    ex.valid = true;
+    ex.pc = cur.id_ex.pc;
+    ex.instr = cur.id_ex.instr;
+    next.ex_mem = ex;
+  } else if (cur.id_ex.valid) {
+    const Instruction& instr = cur.id_ex.instr;
+    const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+
+    const std::int32_t a = forward_to_ex(cur, instr.rs, cur.id_ex.rs_val);
+    const std::int32_t rt_fwd = forward_to_ex(cur, instr.rt, cur.id_ex.rt_val);
+    const std::int32_t acc = forward_to_ex(cur, instr.rd, cur.id_ex.rd_val);
+
+    // Resolve control flow first (EX-resolution config); under kDecode it
+    // was already resolved in ID and the latch carries no live branch work.
+    bool taken = false;
+    std::uint32_t target = 0;
+    if (config_.branch_resolve == BranchResolveStage::kExecute) {
+      if (info.is_cond_branch) {
+        std::int32_t lhs = a;
+        if (instr.op == Opcode::kDbne) {
+          lhs = alu_eval(Opcode::kDbne, AluInputs{a, 0, 0, 0});
+        }
+        taken = branch_taken(instr.op, lhs, rt_fwd);
+        target = isa::branch_target(instr, cur.id_ex.pc);
+      } else if (info.is_jump) {
+        taken = true;
+        target = (instr.op == Opcode::kJ || instr.op == Opcode::kJal)
+                     ? isa::jump_target(instr, cur.id_ex.pc)
+                     : static_cast<std::uint32_t>(a);
+      }
+    }
+
+    // Commit this instruction's fetch-time ZOLC write-backs now that it is
+    // entering EX (non-speculative) -- unless it is itself a taken control
+    // transfer, in which case the fetch-time speculation was wrong-path.
+    if (cur.id_ex.fetch_info) {
+      if (taken) {
+        rollback_to = cur.id_ex.fetch_info->before;
+      } else {
+        for (const RfWrite& w : cur.id_ex.fetch_info->event.rf_writes) {
+          regs_.write(w.reg, w.value);
+        }
+      }
+    }
+
+    if (taken) {
+      redirect = true;
+      redirect_from_ex = true;
+      redirect_target = target;
+      resolved_pc = cur.id_ex.pc;
+      ++stats_.taken_control;
+    }
+
+    ExMem ex;
+    ex.valid = true;
+    ex.pc = cur.id_ex.pc;
+    ex.instr = instr;
+    ex.dest = isa::dest_reg(instr);
+    ex.is_load = info.is_load;
+    ex.is_store = info.is_store;
+
+    switch (info.format) {
+      case Format::kR3:
+      case Format::kR3Acc:
+      case Format::kR2:
+      case Format::kR1:
+      case Format::kRShift: {
+        if (instr.op == Opcode::kJr) break;
+        if (instr.op == Opcode::kJalr) {
+          ex.alu = static_cast<std::int32_t>(cur.id_ex.pc + 4);
+          break;
+        }
+        AluInputs in;
+        in.a = a;
+        in.b = rt_fwd;
+        in.acc = acc;
+        in.shamt = instr.shamt;
+        ex.alu = alu_eval(instr.op, in);
+        break;
+      }
+      case Format::kI:
+      case Format::kLui: {
+        AluInputs in;
+        in.a = a;
+        in.b = instr.imm;
+        ex.alu = alu_eval(instr.op, in);
+        break;
+      }
+      case Format::kMem:
+        ex.alu = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                           static_cast<std::uint32_t>(instr.imm));
+        ex.store_val = rt_fwd;
+        break;
+      case Format::kBranchCmp:
+      case Format::kBranchZero:
+        if (instr.op == Opcode::kDbne) {
+          ex.alu = alu_eval(Opcode::kDbne, AluInputs{a, 0, 0, 0});
+        }
+        break;
+      case Format::kJump:
+        if (instr.op == Opcode::kJal) {
+          ex.alu = static_cast<std::int32_t>(cur.id_ex.pc + 4);
+          ex.dest = 31;
+        }
+        break;
+      case Format::kZolcWrite:
+      case Format::kZolcNone: {
+        if (accel_ == nullptr) {
+          throw SimError("ZOLC instruction at " + hex32(cur.id_ex.pc) +
+                         " with no loop accelerator attached");
+        }
+        if (instr.op == Opcode::kZolOn) {
+          accel_->activate(instr.zidx, static_cast<std::uint32_t>(a));
+        } else if (instr.op == Opcode::kZolOff) {
+          accel_->deactivate();
+        } else {
+          accel_->init_write(instr.op, instr.zidx,
+                             static_cast<std::uint32_t>(a));
+        }
+        break;
+      }
+      case Format::kNone:
+        break;
+    }
+    next.ex_mem = ex;
+  }
+
+  // ---------------- ID ----------------
+  // Skip decode entirely when the EX stage redirected this cycle: the
+  // instruction in ID is wrong-path and is squashed below.
+  bool stall = false;
+  if (cur.if_id.valid && !redirect_from_ex && !cur.if_id.instr.valid()) {
+    // Inert pass-through; traps at WB if it ever retires.
+    IdEx id;
+    id.valid = true;
+    id.pc = cur.if_id.pc;
+    id.instr = cur.if_id.instr;
+    next.id_ex = id;
+  } else if (cur.if_id.valid && !redirect_from_ex) {
+    const Instruction& instr = cur.if_id.instr;
+    const isa::SourceRegs srcs = isa::source_regs(instr);
+
+    // An invalid (wrong-path garbage) instruction in EX is inert: it has no
+    // destination and participates in no hazards.
+    const bool ex_stage_valid = cur.id_ex.valid && cur.id_ex.instr.valid();
+    if (config_.forwarding) {
+      // Load-use interlock: producer load currently in EX.
+      if (ex_stage_valid && isa::opcode_info(cur.id_ex.instr.op).is_load &&
+          writes_reg(isa::dest_reg(cur.id_ex.instr), srcs)) {
+        stall = true;
+        ++stats_.load_use_stalls;
+      }
+      // ID-resolution interlocks: branch operands must be available in ID.
+      if (!stall && config_.branch_resolve == BranchResolveStage::kDecode &&
+          isa::is_control_flow(instr)) {
+        const bool ex_hazard =
+            ex_stage_valid && writes_reg(isa::dest_reg(cur.id_ex.instr), srcs);
+        const bool mem_load_hazard = cur.ex_mem.valid && cur.ex_mem.is_load &&
+                                     writes_reg(cur.ex_mem.dest, srcs);
+        if (ex_hazard || mem_load_hazard) {
+          stall = true;
+          ++stats_.interlock_stalls;
+        }
+      }
+    } else {
+      // No forwarding: wait until every producer has written back.
+      const bool hazard =
+          (ex_stage_valid && writes_reg(isa::dest_reg(cur.id_ex.instr), srcs)) ||
+          (cur.ex_mem.valid && writes_reg(cur.ex_mem.dest, srcs));
+      if (hazard) {
+        stall = true;
+        ++stats_.raw_stalls;
+      }
+    }
+
+    if (!stall) {
+      IdEx id;
+      id.valid = true;
+      id.pc = cur.if_id.pc;
+      id.instr = instr;
+      id.rs_val = read_in_id(cur, instr.rs);
+      id.rt_val = read_in_id(cur, instr.rt);
+      id.rd_val = read_in_id(cur, instr.rd);
+      id.fetch_info = cur.if_id.fetch_info;
+
+      // Early (decode-stage) control resolution.
+      if (config_.branch_resolve == BranchResolveStage::kDecode &&
+          isa::is_control_flow(instr)) {
+        const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+        bool taken = false;
+        std::uint32_t target = 0;
+        if (info.is_cond_branch) {
+          std::int32_t lhs = id.rs_val;
+          if (instr.op == Opcode::kDbne) {
+            lhs = alu_eval(Opcode::kDbne, AluInputs{id.rs_val, 0, 0, 0});
+          }
+          taken = branch_taken(instr.op, lhs, id.rt_val);
+          target = isa::branch_target(instr, id.pc);
+        } else {
+          taken = true;
+          target = (instr.op == Opcode::kJ || instr.op == Opcode::kJal)
+                       ? isa::jump_target(instr, id.pc)
+                       : static_cast<std::uint32_t>(id.rs_val);
+        }
+        if (taken) {
+          redirect = true;
+          redirect_target = target;
+          resolved_pc = id.pc;
+          ++stats_.taken_control;
+          // This branch's own fetch-time event was fall-through speculation:
+          // cancel it (write-backs never applied) and remember the rollback.
+          if (id.fetch_info) {
+            if (!rollback_to) rollback_to = id.fetch_info->before;
+            id.fetch_info.reset();
+          }
+        }
+      }
+      next.id_ex = id;
+    } else {
+      next.if_id = cur.if_id;  // hold
+    }
+  }
+
+  // ---------------- IF ----------------
+  bool fetched = false;
+  std::uint32_t next_pc = pc_;
+  if (!stall) {
+    const bool gate = config_.speculation == SpeculationPolicy::kGate &&
+                      accel_ != nullptr && accel_->will_trigger(pc_) &&
+                      control_in_flight(cur);
+    if (gate) {
+      ++stats_.gate_stalls;
+    } else {
+      IfId ifi;
+      ifi.valid = true;
+      ifi.pc = pc_;
+      ifi.instr = isa::decode(mem_.fetch32(pc_));
+      if (accel_ != nullptr && accel_->will_trigger(pc_)) {
+        FetchInfo fi;
+        fi.before = accel_->snapshot();
+        auto event = accel_->on_fetch(pc_);
+        ZS_ASSERT(event.has_value());
+        fi.event = std::move(*event);
+        ++stats_.zolc_fetch_events;
+        next_pc = fi.event.redirect.value_or(pc_ + 4);
+        ifi.fetch_info = std::move(fi);
+      } else {
+        next_pc = pc_ + 4;
+      }
+      next.if_id = ifi;
+      fetched = true;
+    }
+  }
+
+  // ------------- redirect / squash -------------
+  if (redirect) {
+    // Determine the oldest wrong-path ZOLC event and restore its snapshot.
+    // Priority (oldest first): the branch's own event (already captured in
+    // rollback_to), then the squashed IF/ID instruction (EX resolution
+    // only), then this cycle's squashed fetch.
+    if (!rollback_to && redirect_from_ex && cur.if_id.valid &&
+        cur.if_id.fetch_info) {
+      rollback_to = cur.if_id.fetch_info->before;
+    }
+    if (!rollback_to && fetched && next.if_id.fetch_info) {
+      rollback_to = next.if_id.fetch_info->before;
+    }
+    if (rollback_to) {
+      ZS_ASSERT(accel_ != nullptr);
+      accel_->restore(*rollback_to);
+      ++stats_.zolc_rollbacks;
+    }
+    // Resolution-time ZOLC hook (candidate exits / entries).
+    if (accel_ != nullptr) {
+      if (auto resolution = accel_->on_taken_control(resolved_pc,
+                                                     redirect_target)) {
+        ++stats_.zolc_resolution_events;
+        for (const RfWrite& w : resolution->rf_writes) {
+          regs_.write(w.reg, w.value);
+        }
+      }
+    }
+    // Squash wrong-path slots (this cycle's fetch or a held IF/ID entry,
+    // plus -- for EX resolution -- the instruction that was in ID).
+    if (next.if_id.valid) ++stats_.control_flush_slots;
+    next.if_id = IfId{};
+    if (redirect_from_ex) {
+      if (cur.if_id.valid) ++stats_.control_flush_slots;
+      next.id_ex = IdEx{};
+    }
+    next_pc = redirect_target;
+  }
+
+  latches_ = next;
+  pc_ = next_pc;
+  ++stats_.cycles;
+}
+
+std::uint64_t Pipeline::run(std::uint64_t max_cycles) {
+  std::uint64_t consumed = 0;
+  while (!halted_) {
+    if (consumed >= max_cycles) {
+      throw SimError("pipeline cycle limit (" + std::to_string(max_cycles) +
+                     ") exceeded at pc " + hex32(pc_));
+    }
+    cycle();
+    ++consumed;
+  }
+  return consumed;
+}
+
+}  // namespace zolcsim::cpu

@@ -1,0 +1,65 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+
+namespace zolcsim::harness {
+
+Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
+                                        codegen::MachineKind machine,
+                                        const kernels::KernelEnv& env,
+                                        cpu::PipelineConfig config,
+                                        std::uint64_t max_cycles) {
+  auto lowered = codegen::lower(kernel.build(env), machine, env.code_base);
+  if (!lowered.ok()) {
+    return Error{std::string(kernel.name()) + " (" +
+                 std::string(codegen::machine_name(machine)) +
+                 "): lowering failed: " + lowered.error().message};
+  }
+  const codegen::Program& program = lowered.value();
+
+  mem::Memory memory;
+  program.load_into(memory);
+  kernel.setup(env, memory);
+
+  std::unique_ptr<zolc::ZolcController> controller;
+  if (const auto variant = codegen::machine_zolc_variant(machine)) {
+    controller = std::make_unique<zolc::ZolcController>(*variant);
+  }
+
+  cpu::Pipeline pipe(memory, config);
+  pipe.set_accelerator(controller.get());
+  pipe.set_pc(program.base);
+  try {
+    pipe.run(max_cycles);
+  } catch (const cpu::SimError& e) {
+    return Error{std::string(kernel.name()) + " (" +
+                 std::string(codegen::machine_name(machine)) +
+                 "): simulation failed: " + e.what()};
+  }
+
+  if (auto verified = kernel.verify(env, memory); !verified.ok()) {
+    return Error{std::string(kernel.name()) + " (" +
+                 std::string(codegen::machine_name(machine)) +
+                 "): verification failed: " + verified.error().message};
+  }
+
+  ExperimentResult result;
+  result.kernel = std::string(kernel.name());
+  result.machine = machine;
+  result.stats = pipe.stats();
+  if (controller) result.zolc_stats = controller->zolc_stats();
+  result.init_instructions = program.init_instructions;
+  result.hw_loops = program.hw_loop_count;
+  result.sw_loops = program.sw_loop_count;
+  result.code_words = program.size_words();
+  result.notes = program.notes;
+  return result;
+}
+
+double percent_reduction(std::uint64_t baseline, std::uint64_t cycles) {
+  if (baseline == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(cycles) /
+                            static_cast<double>(baseline));
+}
+
+}  // namespace zolcsim::harness

@@ -1,0 +1,44 @@
+// Experiment runner: lowers a kernel for a machine configuration, runs it
+// on the cycle-accurate pipeline (with the right ZOLC variant attached),
+// verifies outputs against the kernel's golden reference, and returns the
+// cycle statistics the benchmarks report.
+#ifndef ZOLCSIM_HARNESS_EXPERIMENT_HPP
+#define ZOLCSIM_HARNESS_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "codegen/lower.hpp"
+#include "cpu/pipeline.hpp"
+#include "kernels/kernels.hpp"
+#include "zolc/controller.hpp"
+
+namespace zolcsim::harness {
+
+struct ExperimentResult {
+  std::string kernel;
+  codegen::MachineKind machine = codegen::MachineKind::kXrDefault;
+  cpu::PipelineStats stats;
+  zolc::ZolcStats zolc_stats;     ///< zeros for non-ZOLC machines
+  unsigned init_instructions = 0; ///< ZOLC init prologue length
+  unsigned hw_loops = 0;
+  unsigned sw_loops = 0;
+  std::size_t code_words = 0;
+  std::vector<std::string> notes;
+};
+
+/// Runs one (kernel, machine) experiment. Output verification failures and
+/// lowering errors are returned as Error (a failed verification is a bug,
+/// never a reportable data point).
+[[nodiscard]] Result<ExperimentResult> run_experiment(
+    const kernels::Kernel& kernel, codegen::MachineKind machine,
+    const kernels::KernelEnv& env = {}, cpu::PipelineConfig config = {},
+    std::uint64_t max_cycles = 200'000'000);
+
+/// Percentage cycle reduction of `cycles` vs `baseline` (paper's metric).
+[[nodiscard]] double percent_reduction(std::uint64_t baseline,
+                                       std::uint64_t cycles);
+
+}  // namespace zolcsim::harness
+
+#endif  // ZOLCSIM_HARNESS_EXPERIMENT_HPP

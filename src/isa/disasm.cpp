@@ -1,0 +1,78 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "isa/encoding.hpp"
+
+namespace zolcsim::isa {
+
+namespace {
+
+std::string reg(unsigned r) { return std::string(reg_name(r)); }
+
+}  // namespace
+
+std::string disassemble(const Instruction& instr, std::uint32_t pc) {
+  if (!instr.valid()) return "<invalid>";
+  if (is_nop(instr)) return "nop";
+
+  const OpcodeInfo& info = opcode_info(instr.op);
+  std::ostringstream os;
+  os << info.mnemonic;
+
+  switch (info.format) {
+    case Format::kR3:
+    case Format::kR3Acc:
+      os << ' ' << reg(instr.rd) << ", " << reg(instr.rs) << ", "
+         << reg(instr.rt);
+      break;
+    case Format::kRShift:
+      os << ' ' << reg(instr.rd) << ", " << reg(instr.rt) << ", "
+         << static_cast<unsigned>(instr.shamt);
+      break;
+    case Format::kR2:
+      os << ' ' << reg(instr.rd) << ", " << reg(instr.rs);
+      break;
+    case Format::kR1:
+      os << ' ' << reg(instr.rs);
+      break;
+    case Format::kI:
+      os << ' ' << reg(instr.rt) << ", " << reg(instr.rs) << ", " << instr.imm;
+      break;
+    case Format::kLui:
+      os << ' ' << reg(instr.rt) << ", " << instr.imm;
+      break;
+    case Format::kBranchCmp:
+      os << ' ' << reg(instr.rs) << ", " << reg(instr.rt) << ", "
+         << hex32(branch_target(instr, pc));
+      break;
+    case Format::kBranchZero:
+      os << ' ' << reg(instr.rs) << ", " << hex32(branch_target(instr, pc));
+      break;
+    case Format::kMem:
+      os << ' ' << reg(instr.rt) << ", " << instr.imm << '(' << reg(instr.rs)
+         << ')';
+      break;
+    case Format::kJump:
+      os << ' ' << hex32(jump_target(instr, pc));
+      break;
+    case Format::kZolcWrite:
+      if (instr.op == Opcode::kZolOn) {
+        os << ' ' << static_cast<unsigned>(instr.zidx) << ", " << reg(instr.rs);
+      } else {
+        os << ' ' << static_cast<unsigned>(instr.zidx) << ", " << reg(instr.rs);
+      }
+      break;
+    case Format::kZolcNone:
+    case Format::kNone:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_word(std::uint32_t word, std::uint32_t pc) {
+  return disassemble(decode(word), pc);
+}
+
+}  // namespace zolcsim::isa

@@ -1,0 +1,205 @@
+#include "isa/encoding.hpp"
+
+#include <array>
+
+#include "common/bitutil.hpp"
+#include "common/contracts.hpp"
+
+namespace zolcsim::isa {
+
+namespace {
+
+// Reverse-lookup tables: primary opcode -> Opcode (for non-grouped ops) and
+// funct -> Opcode within each group.
+struct DecodeTables {
+  std::array<Opcode, 64> by_primary{};
+  std::array<Opcode, 64> special_by_funct{};
+  std::array<Opcode, 64> dsp_by_funct{};
+  std::array<Opcode, 64> zolc_by_funct{};
+};
+
+DecodeTables build_decode_tables() {
+  DecodeTables t;
+  t.by_primary.fill(Opcode::kInvalid);
+  t.special_by_funct.fill(Opcode::kInvalid);
+  t.dsp_by_funct.fill(Opcode::kInvalid);
+  t.zolc_by_funct.fill(Opcode::kInvalid);
+  for (std::size_t i = 1; i < static_cast<std::size_t>(Opcode::kOpcodeCount_);
+       ++i) {
+    const auto op = static_cast<Opcode>(i);
+    const OpcodeInfo& info = opcode_info(op);
+    switch (info.primary) {
+      case kPrimarySpecial:
+        t.special_by_funct[info.funct] = op;
+        break;
+      case kPrimaryDsp:
+        t.dsp_by_funct[info.funct] = op;
+        break;
+      case kPrimaryZolc:
+        t.zolc_by_funct[info.funct] = op;
+        break;
+      default:
+        t.by_primary[info.primary] = op;
+        break;
+    }
+  }
+  return t;
+}
+
+const DecodeTables& decode_tables() {
+  static const DecodeTables t = build_decode_tables();
+  return t;
+}
+
+constexpr unsigned kRsLsb = 21, kRtLsb = 16, kRdLsb = 11, kShamtLsb = 6;
+constexpr unsigned kZidxLsb = 13;
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& instr) {
+  const OpcodeInfo& info = opcode_info(instr.op);
+  ZS_EXPECTS(instr.rd < kNumRegs && instr.rs < kNumRegs && instr.rt < kNumRegs);
+  std::uint32_t word = 0;
+  word = insert_bits(word, 26, 6, info.primary);
+
+  switch (info.format) {
+    case Format::kR3:
+    case Format::kR3Acc:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, kRtLsb, 5, instr.rt);
+      word = insert_bits(word, kRdLsb, 5, instr.rd);
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kRShift:
+      ZS_EXPECTS(instr.shamt < 32);
+      word = insert_bits(word, kRtLsb, 5, instr.rt);
+      word = insert_bits(word, kRdLsb, 5, instr.rd);
+      word = insert_bits(word, kShamtLsb, 5, instr.shamt);
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kR2:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, kRdLsb, 5, instr.rd);
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kR1:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kI:
+    case Format::kMem:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, kRtLsb, 5, instr.rt);
+      if (info.imm_is_signed) {
+        ZS_EXPECTS(fits_signed(instr.imm, 16));
+      } else {
+        ZS_EXPECTS(fits_unsigned(static_cast<std::uint32_t>(instr.imm), 16));
+      }
+      word = insert_bits(word, 0, 16,
+                         static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+      break;
+    case Format::kLui:
+      word = insert_bits(word, kRtLsb, 5, instr.rt);
+      ZS_EXPECTS(fits_unsigned(static_cast<std::uint32_t>(instr.imm), 16));
+      word = insert_bits(word, 0, 16,
+                         static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+      break;
+    case Format::kBranchCmp:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, kRtLsb, 5, instr.rt);
+      ZS_EXPECTS(fits_signed(instr.imm, 16));
+      word = insert_bits(word, 0, 16,
+                         static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+      break;
+    case Format::kBranchZero:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      ZS_EXPECTS(fits_signed(instr.imm, 16));
+      word = insert_bits(word, 0, 16,
+                         static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+      break;
+    case Format::kJump:
+      ZS_EXPECTS(fits_unsigned(instr.target, 26));
+      word = insert_bits(word, 0, 26, instr.target);
+      break;
+    case Format::kZolcWrite:
+      word = insert_bits(word, kRsLsb, 5, instr.rs);
+      word = insert_bits(word, kZidxLsb, 8, instr.zidx);
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kZolcNone:
+      word = insert_bits(word, 0, 6, info.funct);
+      break;
+    case Format::kNone:
+      break;
+  }
+  return word;
+}
+
+Instruction decode(std::uint32_t word) {
+  const DecodeTables& t = decode_tables();
+  const auto primary = static_cast<std::uint8_t>(extract_bits(word, 26, 6));
+
+  Opcode op = Opcode::kInvalid;
+  if (primary == kPrimarySpecial) {
+    op = t.special_by_funct[extract_bits(word, 0, 6)];
+  } else if (primary == kPrimaryDsp) {
+    op = t.dsp_by_funct[extract_bits(word, 0, 6)];
+  } else if (primary == kPrimaryZolc) {
+    op = t.zolc_by_funct[extract_bits(word, 0, 6)];
+  } else {
+    op = t.by_primary[primary];
+  }
+  if (op == Opcode::kInvalid) return Instruction{};
+
+  const OpcodeInfo& info = opcode_info(op);
+  Instruction instr;
+  instr.op = op;
+  switch (info.format) {
+    case Format::kR3:
+    case Format::kR3Acc:
+      instr.rs = static_cast<std::uint8_t>(extract_bits(word, kRsLsb, 5));
+      instr.rt = static_cast<std::uint8_t>(extract_bits(word, kRtLsb, 5));
+      instr.rd = static_cast<std::uint8_t>(extract_bits(word, kRdLsb, 5));
+      break;
+    case Format::kRShift:
+      instr.rt = static_cast<std::uint8_t>(extract_bits(word, kRtLsb, 5));
+      instr.rd = static_cast<std::uint8_t>(extract_bits(word, kRdLsb, 5));
+      instr.shamt = static_cast<std::uint8_t>(extract_bits(word, kShamtLsb, 5));
+      break;
+    case Format::kR2:
+      instr.rs = static_cast<std::uint8_t>(extract_bits(word, kRsLsb, 5));
+      instr.rd = static_cast<std::uint8_t>(extract_bits(word, kRdLsb, 5));
+      break;
+    case Format::kR1:
+      instr.rs = static_cast<std::uint8_t>(extract_bits(word, kRsLsb, 5));
+      break;
+    case Format::kI:
+    case Format::kMem:
+    case Format::kBranchCmp:
+    case Format::kBranchZero:
+    case Format::kLui: {
+      instr.rs = static_cast<std::uint8_t>(extract_bits(word, kRsLsb, 5));
+      instr.rt = static_cast<std::uint8_t>(extract_bits(word, kRtLsb, 5));
+      const std::uint32_t raw = extract_bits(word, 0, 16);
+      const bool sign = info.imm_is_signed || info.is_cond_branch;
+      instr.imm = sign ? sign_extend(raw, 16) : static_cast<std::int32_t>(raw);
+      break;
+    }
+    case Format::kJump:
+      instr.target = extract_bits(word, 0, 26);
+      break;
+    case Format::kZolcWrite:
+      instr.rs = static_cast<std::uint8_t>(extract_bits(word, kRsLsb, 5));
+      instr.zidx = static_cast<std::uint8_t>(extract_bits(word, kZidxLsb, 8));
+      break;
+    case Format::kZolcNone:
+    case Format::kNone:
+      break;
+  }
+  // Strict canonical decoding: a word is valid only if re-encoding the
+  // decoded fields reproduces it exactly (junk in reserved bits rejects).
+  if (encode(instr) != word) return Instruction{};
+  return instr;
+}
+
+}  // namespace zolcsim::isa

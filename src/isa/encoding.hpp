@@ -1,0 +1,27 @@
+// Binary instruction encoding/decoding. Word layout (32 bits):
+//   [31:26] primary opcode
+//   R/DSP groups: [25:21] rs, [20:16] rt, [15:11] rd, [10:6] shamt, [5:0] funct
+//   I-type:       [25:21] rs, [20:16] rt, [15:0] imm16
+//   J-type:       [25:0]  target26
+//   ZOLC group:   [25:21] rs, [20:13] idx8, [12:6] zero, [5:0] funct
+#ifndef ZOLCSIM_ISA_ENCODING_HPP
+#define ZOLCSIM_ISA_ENCODING_HPP
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace zolcsim::isa {
+
+/// Encodes a decoded instruction to its 32-bit word. Preconditions: fields
+/// fit their encoding slots (imm in 16 signed/unsigned bits per opcode,
+/// regs < 32, target < 2^26, zidx < 256).
+[[nodiscard]] std::uint32_t encode(const Instruction& instr);
+
+/// Decodes a 32-bit word. Returns an Instruction with op == kInvalid if the
+/// word does not correspond to any defined instruction.
+[[nodiscard]] Instruction decode(std::uint32_t word);
+
+}  // namespace zolcsim::isa
+
+#endif  // ZOLCSIM_ISA_ENCODING_HPP

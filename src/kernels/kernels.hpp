@@ -1,0 +1,96 @@
+// The benchmark suite: 12 DSP / motion-estimation kernels of the classes
+// the paper evaluates (XiRisc validation-suite-style DSP code plus software
+// motion estimation). Each kernel provides:
+//   * a KIR builder (one source lowered to every machine configuration),
+//   * deterministic input-data setup,
+//   * a golden C++ reference mirroring the kernel's exact integer
+//     arithmetic, and word-level output verification.
+#ifndef ZOLCSIM_KERNELS_KERNELS_HPP
+#define ZOLCSIM_KERNELS_KERNELS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "codegen/kir.hpp"
+#include "common/result.hpp"
+#include "mem/memory.hpp"
+
+namespace zolcsim::kernels {
+
+/// Memory map and sizing for a kernel instance.
+struct KernelEnv {
+  std::uint32_t code_base = 0x0000'1000;
+  std::uint32_t in_base = 0x0010'0000;   ///< primary input
+  std::uint32_t in2_base = 0x0011'0000;  ///< secondary input / coefficients
+  std::uint32_t out_base = 0x0012'0000;  ///< outputs (verified)
+  std::uint32_t aux_base = 0x0013'0000;  ///< constant tables / scratch
+  unsigned scale = 1;                    ///< problem-size multiplier
+  std::uint32_t seed = 0xC0FFEE01;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  /// Builds the kernel's KIR (loop structure + body instructions).
+  [[nodiscard]] virtual std::vector<codegen::KNode> build(
+      const KernelEnv& env) const = 0;
+  /// Writes input data and constant tables into simulator memory.
+  virtual void setup(const KernelEnv& env, mem::Memory& memory) const = 0;
+  /// Checks the outputs in `memory` against the golden reference.
+  [[nodiscard]] virtual Result<void> verify(const KernelEnv& env,
+                                            const mem::Memory& memory) const = 0;
+};
+
+/// All 12 kernels, in the order reported by the benchmark harness.
+[[nodiscard]] const std::vector<std::unique_ptr<Kernel>>& kernel_registry();
+
+/// Lookup by name; nullptr if unknown.
+[[nodiscard]] const Kernel* find_kernel(std::string_view name);
+
+/// Deterministic pseudo-random generator for input data (LCG).
+class Lcg {
+ public:
+  explicit Lcg(std::uint32_t seed) : state_(seed) {}
+
+  std::uint32_t next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_;
+  }
+
+  /// Uniform-ish value in [lo, hi].
+  std::int32_t range(std::int32_t lo, std::int32_t hi) {
+    const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int32_t>(next() % span);
+  }
+
+ private:
+  std::uint32_t state_;
+};
+
+// Shared helpers for kernel implementations (exposed for tests).
+namespace detail {
+
+/// Same wrap-around semantics as the core's mul/mac.
+inline std::int32_t wmul(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                   static_cast<std::uint32_t>(b));
+}
+inline std::int32_t wadd(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+
+/// Verifies `expected` against memory words at `addr`.
+Result<void> check_words(const mem::Memory& memory, std::uint32_t addr,
+                         const std::vector<std::int32_t>& expected,
+                         std::string_view what);
+
+}  // namespace detail
+
+}  // namespace zolcsim::kernels
+
+#endif  // ZOLCSIM_KERNELS_KERNELS_HPP

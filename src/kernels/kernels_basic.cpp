@@ -1,0 +1,374 @@
+// Vector / filter / CRC kernels: dotprod, vecmax, fir, iir_biquad, crc32.
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+namespace zolcsim::kernels {
+
+namespace {
+
+namespace b = isa::build;
+using codegen::KernelBuilder;
+using codegen::KNode;
+using detail::check_words;
+using detail::wadd;
+using detail::wmul;
+using isa::Opcode;
+
+// ---------------- dotprod ----------------
+// acc = sum a[i] * b[i]; the canonical tight MAC loop.
+
+class DotProd final : public Kernel {
+ public:
+  std::string_view name() const override { return "dotprod"; }
+  std::string_view description() const override {
+    return "vector dot product (MAC inner loop)";
+  }
+
+  static unsigned n(const KernelEnv& env) { return 64 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(7, static_cast<std::int32_t>(env.in_base));
+    kb.li(8, static_cast<std::int32_t>(env.in2_base));
+    kb.li(16, 0);
+    kb.for_count(1, 0, static_cast<std::int32_t>(n(env)), 1, [&] {
+      kb.op(b::lw(2, 0, 7));
+      kb.op(b::lw(3, 0, 8));
+      kb.op(b::mac(16, 2, 3));
+      kb.op(b::addi(7, 7, 4));
+      kb.op(b::addi(8, 8, 4));
+    });
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(16, 0, 9));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed);
+    for (unsigned i = 0; i < n(env); ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-1000, 1000)));
+      memory.write32(env.in2_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-1000, 1000)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed);
+    std::int32_t acc = 0;
+    for (unsigned i = 0; i < n(env); ++i) {
+      const std::int32_t a = rng.range(-1000, 1000);
+      const std::int32_t v = rng.range(-1000, 1000);
+      acc = wadd(acc, wmul(a, v));
+    }
+    return check_words(memory, env.out_base, {acc}, "dotprod");
+  }
+};
+
+// ---------------- vecmax ----------------
+// Max value and its (first) position; the conditional-update idiom.
+
+class VecMax final : public Kernel {
+ public:
+  std::string_view name() const override { return "vecmax"; }
+  std::string_view description() const override {
+    return "vector maximum + argmax (conditional update)";
+  }
+
+  static unsigned n(const KernelEnv& env) { return 64 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(7, static_cast<std::int32_t>(env.in_base));
+    kb.li(16, INT32_MIN);
+    kb.li(17, 0);
+    kb.for_count(1, 0, static_cast<std::int32_t>(n(env)), 1, [&] {
+      kb.op(b::lw(2, 0, 7));
+      kb.op(b::addi(7, 7, 4));
+      kb.if_cond(Opcode::kBlt, 16, 2, [&] {  // cur < value
+        kb.op(b::add(16, 2, 0));
+        kb.op(b::add(17, 1, 0));             // reads the loop index
+      });
+    });
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(16, 0, 9));
+    kb.op(b::sw(17, 4, 9));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 1);
+    for (unsigned i = 0; i < n(env); ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-100000, 100000)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 1);
+    std::int32_t best = INT32_MIN;
+    std::int32_t arg = 0;
+    for (unsigned i = 0; i < n(env); ++i) {
+      const std::int32_t v = rng.range(-100000, 100000);
+      if (best < v) {
+        best = v;
+        arg = static_cast<std::int32_t>(i);
+      }
+    }
+    return check_words(memory, env.out_base, {best, arg}, "vecmax");
+  }
+};
+
+// ---------------- fir ----------------
+// y[i] = sum_k x[i+k] * h[k]; 2-deep nest, rolling window pointer.
+
+class Fir final : public Kernel {
+ public:
+  std::string_view name() const override { return "fir"; }
+  std::string_view description() const override {
+    return "FIR filter (16 taps, rolling window)";
+  }
+
+  static unsigned n(const KernelEnv& env) { return 32 * env.scale; }
+  static constexpr unsigned kTaps = 16;
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(18, static_cast<std::int32_t>(env.in_base));   // rolling x start
+    kb.li(19, static_cast<std::int32_t>(env.in2_base));  // taps base
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.for_count(1, 0, static_cast<std::int32_t>(n(env)), 1, [&] {
+      kb.op(b::add(7, 18, 0));  // px = xstart
+      kb.op(b::add(8, 19, 0));  // ph = taps
+      kb.op(b::addi(16, 0, 0)); // acc
+      kb.for_count(2, 0, kTaps, 1, [&] {
+        kb.op(b::lw(3, 0, 7));
+        kb.op(b::lw(4, 0, 8));
+        kb.op(b::mac(16, 3, 4));
+        kb.op(b::addi(7, 7, 4));
+        kb.op(b::addi(8, 8, 4));
+      });
+      kb.op(b::sw(16, 0, 9));
+      kb.op(b::addi(9, 9, 4));
+      kb.op(b::addi(18, 18, 4));
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 2);
+    for (unsigned i = 0; i < n(env) + kTaps; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-2048, 2047)));
+    }
+    for (unsigned k = 0; k < kTaps; ++k) {
+      memory.write32(env.in2_base + k * 4,
+                     static_cast<std::uint32_t>(rng.range(-512, 511)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 2);
+    std::vector<std::int32_t> x(n(env) + kTaps);
+    std::vector<std::int32_t> h(kTaps);
+    for (auto& v : x) v = rng.range(-2048, 2047);
+    for (auto& v : h) v = rng.range(-512, 511);
+    std::vector<std::int32_t> y(n(env));
+    for (unsigned i = 0; i < n(env); ++i) {
+      std::int32_t acc = 0;
+      for (unsigned k = 0; k < kTaps; ++k) {
+        acc = wadd(acc, wmul(x[i + k], h[k]));
+      }
+      y[i] = acc;
+    }
+    return check_words(memory, env.out_base, y, "fir");
+  }
+};
+
+// ---------------- iir_biquad ----------------
+// Cascade of 4 direct-form-I biquads, Q14 coefficients, states in memory.
+
+class IirBiquad final : public Kernel {
+ public:
+  std::string_view name() const override { return "iir_biquad"; }
+  std::string_view description() const override {
+    return "IIR filter: cascade of 4 biquads (Q14)";
+  }
+
+  static unsigned n(const KernelEnv& env) { return 64 * env.scale; }
+  static constexpr unsigned kBiquads = 4;
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(7, static_cast<std::int32_t>(env.in_base));
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(19, static_cast<std::int32_t>(env.in2_base));  // coefficients
+    kb.li(20, static_cast<std::int32_t>(env.aux_base));  // states
+    kb.for_count(1, 0, static_cast<std::int32_t>(n(env)), 1, [&] {
+      kb.op(b::lw(16, 0, 7));
+      kb.op(b::addi(7, 7, 4));
+      kb.op(b::add(10, 19, 0));  // coef pointer
+      kb.op(b::add(11, 20, 0));  // state pointer
+      kb.for_count(2, 0, kBiquads, 1, [&] {
+        kb.op(b::lw(3, 0, 10));    // b0
+        kb.op(b::lw(4, 4, 10));    // b1
+        kb.op(b::lw(5, 8, 10));    // b2
+        kb.op(b::lw(6, 12, 10));   // -a1
+        kb.op(b::lw(12, 16, 10));  // -a2
+        kb.op(b::lw(13, 0, 11));   // x1
+        kb.op(b::lw(14, 4, 11));   // x2
+        kb.op(b::lw(15, 8, 11));   // y1
+        kb.op(b::lw(17, 12, 11));  // y2
+        kb.op(b::mul(21, 3, 16));
+        kb.op(b::mac(21, 4, 13));
+        kb.op(b::mac(21, 5, 14));
+        kb.op(b::mac(21, 6, 15));
+        kb.op(b::mac(21, 12, 17));
+        kb.op(b::sra(21, 21, 14));
+        kb.op(b::sw(13, 4, 11));   // x2 = x1
+        kb.op(b::sw(16, 0, 11));   // x1 = x
+        kb.op(b::sw(15, 12, 11));  // y2 = y1
+        kb.op(b::sw(21, 8, 11));   // y1 = y
+        kb.op(b::add(16, 21, 0));  // cascade
+        kb.op(b::addi(10, 10, 20));
+        kb.op(b::addi(11, 11, 16));
+      });
+      kb.op(b::sw(16, 0, 9));
+      kb.op(b::addi(9, 9, 4));
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 3);
+    for (unsigned i = 0; i < n(env); ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-1000, 1000)));
+    }
+    for (unsigned q = 0; q < kBiquads; ++q) {
+      // Mild, stable-ish Q14 coefficients.
+      const std::int32_t coefs[5] = {
+          rng.range(4000, 12000), rng.range(-6000, 6000),
+          rng.range(-6000, 6000), rng.range(-5000, 5000),
+          rng.range(-3000, 3000)};
+      for (unsigned c = 0; c < 5; ++c) {
+        memory.write32(env.in2_base + (q * 5 + c) * 4,
+                       static_cast<std::uint32_t>(coefs[c]));
+      }
+      for (unsigned s = 0; s < 4; ++s) {
+        memory.write32(env.aux_base + (q * 4 + s) * 4, 0);
+      }
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 3);
+    std::vector<std::int32_t> x(n(env));
+    for (auto& v : x) v = rng.range(-1000, 1000);
+    std::int32_t coef[kBiquads][5];
+    std::int32_t state[kBiquads][4] = {};
+    for (unsigned q = 0; q < kBiquads; ++q) {
+      coef[q][0] = rng.range(4000, 12000);
+      coef[q][1] = rng.range(-6000, 6000);
+      coef[q][2] = rng.range(-6000, 6000);
+      coef[q][3] = rng.range(-5000, 5000);
+      coef[q][4] = rng.range(-3000, 3000);
+    }
+    std::vector<std::int32_t> y(n(env));
+    for (unsigned i = 0; i < n(env); ++i) {
+      std::int32_t v = x[i];
+      for (unsigned q = 0; q < kBiquads; ++q) {
+        std::int32_t acc = wmul(coef[q][0], v);
+        acc = wadd(acc, wmul(coef[q][1], state[q][0]));
+        acc = wadd(acc, wmul(coef[q][2], state[q][1]));
+        acc = wadd(acc, wmul(coef[q][3], state[q][2]));
+        acc = wadd(acc, wmul(coef[q][4], state[q][3]));
+        acc >>= 14;
+        state[q][1] = state[q][0];
+        state[q][0] = v;
+        state[q][3] = state[q][2];
+        state[q][2] = acc;
+        v = acc;
+      }
+      y[i] = v;
+    }
+    return check_words(memory, env.out_base, y, "iir_biquad");
+  }
+};
+
+// ---------------- crc32 ----------------
+// Bit-serial, branchless reflected CRC-32; 8-trip inner hardware loop.
+
+class Crc32 final : public Kernel {
+ public:
+  std::string_view name() const override { return "crc32"; }
+  std::string_view description() const override {
+    return "bit-serial CRC-32 (branchless inner loop)";
+  }
+
+  static unsigned n(const KernelEnv& env) { return 128 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(7, static_cast<std::int32_t>(env.in_base));
+    kb.li(16, -1);                                       // crc = 0xFFFFFFFF
+    kb.li(19, static_cast<std::int32_t>(0xEDB88320u));   // polynomial
+    kb.for_count(1, 0, static_cast<std::int32_t>(n(env)), 1, [&] {
+      kb.op(b::lbu(2, 0, 7));
+      kb.op(b::addi(7, 7, 1));
+      kb.op(b::xor_(16, 16, 2));
+      kb.for_count(3, 0, 8, 1, [&] {
+        kb.op(b::andi(4, 16, 1));
+        kb.op(b::sub(4, 0, 4));     // mask = -(crc & 1)
+        kb.op(b::and_(4, 4, 19));
+        kb.op(b::srl(16, 16, 1));
+        kb.op(b::xor_(16, 16, 4));
+      });
+    });
+    kb.li(5, -1);
+    kb.op(b::xor_(16, 16, 5));
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(16, 0, 9));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 4);
+    for (unsigned i = 0; i < n(env); ++i) {
+      memory.write8(env.in_base + i,
+                    static_cast<std::uint8_t>(rng.next() & 0xFF));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 4);
+    std::uint32_t crc = 0xFFFF'FFFFu;
+    for (unsigned i = 0; i < n(env); ++i) {
+      crc ^= rng.next() & 0xFFu;
+      for (int bit = 0; bit < 8; ++bit) {
+        const std::uint32_t mask = 0u - (crc & 1u);
+        crc = (crc >> 1) ^ (0xEDB88320u & mask);
+      }
+    }
+    crc ^= 0xFFFF'FFFFu;
+    return check_words(memory, env.out_base,
+                       {static_cast<std::int32_t>(crc)}, "crc32");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_dotprod() { return std::make_unique<DotProd>(); }
+std::unique_ptr<Kernel> make_vecmax() { return std::make_unique<VecMax>(); }
+std::unique_ptr<Kernel> make_fir() { return std::make_unique<Fir>(); }
+std::unique_ptr<Kernel> make_iir_biquad() {
+  return std::make_unique<IirBiquad>();
+}
+std::unique_ptr<Kernel> make_crc32() { return std::make_unique<Crc32>(); }
+
+}  // namespace zolcsim::kernels

@@ -1,0 +1,197 @@
+// fft: radix-2 decimation-in-time FFT with constant loop bounds per stage
+// (butterfly indices computed with variable shifts), Q14 twiddles, preceded
+// by a table-driven bit-reversal copy. Exercises variable-shift DSP code,
+// three sequential/nested hardware loops, and data-independent bounds.
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+#include <cmath>
+
+namespace zolcsim::kernels {
+
+namespace {
+
+namespace b = isa::build;
+using codegen::KernelBuilder;
+using codegen::KNode;
+using detail::check_words;
+using detail::wadd;
+using detail::wmul;
+
+class Fft final : public Kernel {
+ public:
+  std::string_view name() const override { return "fft"; }
+  std::string_view description() const override {
+    return "radix-2 DIT FFT (bit-reverse + staged butterflies, Q14)";
+  }
+
+  static unsigned stages(const KernelEnv& env) { return 4 + (env.scale - 1); }
+  static unsigned n(const KernelEnv& env) { return 1u << stages(env); }
+
+  static std::int32_t tw_re(unsigned k, unsigned size) {
+    return static_cast<std::int32_t>(
+        std::lround(std::cos(2.0 * 3.14159265358979323846 * k / size) *
+                    16384.0));
+  }
+  static std::int32_t tw_im(unsigned k, unsigned size) {
+    return static_cast<std::int32_t>(
+        std::lround(-std::sin(2.0 * 3.14159265358979323846 * k / size) *
+                    16384.0));
+  }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto size = static_cast<std::int32_t>(n(env));
+    const auto s = static_cast<std::int32_t>(stages(env));
+    const std::int32_t im_ofs = size * 4;  // im plane offset in bytes
+
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));   // input re/im
+    kb.li(20, static_cast<std::int32_t>(env.aux_base));  // bit-rev table
+    kb.li(9, static_cast<std::int32_t>(env.out_base));   // work/output
+    kb.li(22, static_cast<std::int32_t>(env.aux_base + 0x800));  // twiddles
+    kb.li(21, 1);
+
+    // Bit-reverse gather: work[rev[i]] = in[i]. (r2 is reserved as the
+    // butterfly loop's hardware-managed index register.)
+    kb.for_count(1, 0, size, 1, [&] {
+      kb.op(b::lw(3, 0, 20));        // j = rev[i]
+      kb.op(b::addi(20, 20, 4));
+      kb.op(b::lw(4, 0, 19));        // re
+      kb.op(b::lw(5, im_ofs, 19));   // im
+      kb.op(b::addi(19, 19, 4));
+      kb.op(b::sll(6, 3, 2));
+      kb.op(b::add(7, 9, 6));
+      kb.op(b::sw(4, 0, 7));
+      kb.op(b::sw(5, im_ofs, 7));
+    });
+
+    // Stages.
+    kb.for_count(1, 0, s, 1, [&] {
+      kb.op(b::sllv(16, 1, 21));     // half = 1 << stage
+      kb.op(b::addi(17, 16, -1));    // mask = half - 1
+      kb.op(b::addi(18, 0, s - 1));
+      kb.op(b::sub(18, 18, 1));      // twiddle shift = S-1-stage
+      kb.for_count(2, 0, size / 2, 1, [&] {
+        kb.op(b::and_(3, 2, 17));    // j = i & mask
+        kb.op(b::srlv(4, 1, 2));     // i >> stage
+        kb.op(b::addi(5, 1, 1));
+        kb.op(b::sllv(4, 5, 4));     // << (stage+1)
+        kb.op(b::add(4, 4, 3));      // pos
+        kb.op(b::add(5, 4, 16));     // pos + half
+        kb.op(b::sll(6, 4, 2));
+        kb.op(b::add(6, 6, 9));      // &work[pos]
+        kb.op(b::sll(7, 5, 2));
+        kb.op(b::add(7, 7, 9));      // &work[pos+half]
+        kb.op(b::sllv(8, 18, 3));    // twiddle index = j << twshift
+        kb.op(b::sll(8, 8, 2));
+        kb.op(b::add(8, 8, 22));
+        kb.op(b::lw(10, 0, 8));                    // w.re
+        kb.op(b::lw(11, (size / 2) * 4, 8));       // w.im
+        kb.op(b::lw(12, 0, 7));                    // b.re
+        kb.op(b::lw(13, im_ofs, 7));               // b.im
+        kb.op(b::mul(14, 10, 12));
+        kb.op(b::mul(15, 11, 13));
+        kb.op(b::sub(14, 14, 15));
+        kb.op(b::sra(14, 14, 14));                 // t.re
+        kb.op(b::mul(15, 10, 13));
+        kb.op(b::mac(15, 11, 12));
+        kb.op(b::sra(15, 15, 14));                 // t.im
+        kb.op(b::lw(28, 0, 6));                    // a.re
+        kb.op(b::lw(29, im_ofs, 6));               // a.im
+        kb.op(b::sub(30, 28, 14));
+        kb.op(b::sw(30, 0, 7));
+        kb.op(b::sub(30, 29, 15));
+        kb.op(b::sw(30, im_ofs, 7));
+        kb.op(b::add(30, 28, 14));
+        kb.op(b::sw(30, 0, 6));
+        kb.op(b::add(30, 29, 15));
+        kb.op(b::sw(30, im_ofs, 6));
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 9);
+    const unsigned size = n(env);
+    // Two passes (re plane, then im plane) so the draw order matches the
+    // golden reference's regeneration exactly.
+    for (unsigned i = 0; i < size; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-4096, 4095)));
+    }
+    for (unsigned i = 0; i < size; ++i) {
+      memory.write32(env.in_base + (size + i) * 4,
+                     static_cast<std::uint32_t>(rng.range(-4096, 4095)));
+    }
+    const unsigned nbits = stages(env);
+    for (unsigned i = 0; i < size; ++i) {
+      unsigned rev = 0;
+      for (unsigned bit = 0; bit < nbits; ++bit) {
+        rev = (rev << 1) | ((i >> bit) & 1u);
+      }
+      memory.write32(env.aux_base + i * 4, rev);
+    }
+    for (unsigned k = 0; k < size / 2; ++k) {
+      memory.write32(env.aux_base + 0x800 + k * 4,
+                     static_cast<std::uint32_t>(tw_re(k, size)));
+      memory.write32(env.aux_base + 0x800 + (size / 2 + k) * 4,
+                     static_cast<std::uint32_t>(tw_im(k, size)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 9);
+    const unsigned size = n(env);
+    const unsigned nbits = stages(env);
+    std::vector<std::int32_t> re(size), im(size);
+    for (unsigned i = 0; i < size; ++i) re[i] = rng.range(-4096, 4095);
+    for (unsigned i = 0; i < size; ++i) im[i] = rng.range(-4096, 4095);
+
+    // Mirror the kernel's fixed-point arithmetic exactly.
+    std::vector<std::int32_t> wre(size), wim(size);
+    for (unsigned i = 0; i < size; ++i) {
+      unsigned rev = 0;
+      for (unsigned bit = 0; bit < nbits; ++bit) {
+        rev = (rev << 1) | ((i >> bit) & 1u);
+      }
+      wre[rev] = re[i];
+      wim[rev] = im[i];
+    }
+    for (unsigned stage = 0; stage < nbits; ++stage) {
+      const unsigned half = 1u << stage;
+      const unsigned mask = half - 1;
+      const unsigned twshift = nbits - 1 - stage;
+      for (unsigned i = 0; i < size / 2; ++i) {
+        const unsigned j = i & mask;
+        const unsigned pos = ((i >> stage) << (stage + 1)) + j;
+        const unsigned hi = pos + half;
+        const unsigned tw = j << twshift;
+        const std::int32_t wr = tw_re(tw, size);
+        const std::int32_t wi = tw_im(tw, size);
+        const std::int32_t tre =
+            (wadd(wmul(wr, wre[hi]), -wmul(wi, wim[hi]))) >> 14;
+        const std::int32_t tim =
+            (wadd(wmul(wr, wim[hi]), wmul(wi, wre[hi]))) >> 14;
+        const std::int32_t are = wre[pos];
+        const std::int32_t aim = wim[pos];
+        wre[hi] = wadd(are, -tre);
+        wim[hi] = wadd(aim, -tim);
+        wre[pos] = wadd(are, tre);
+        wim[pos] = wadd(aim, tim);
+      }
+    }
+    std::vector<std::int32_t> expected;
+    expected.reserve(2 * size);
+    for (unsigned i = 0; i < size; ++i) expected.push_back(wre[i]);
+    for (unsigned i = 0; i < size; ++i) expected.push_back(wim[i]);
+    return check_words(memory, env.out_base, expected, "fft");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_fft() { return std::make_unique<Fft>(); }
+
+}  // namespace zolcsim::kernels

@@ -1,0 +1,401 @@
+// Matrix / image kernels: matmul, conv2d, sobel, dct8x8.
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+namespace zolcsim::kernels {
+
+namespace {
+
+namespace b = isa::build;
+using codegen::KernelBuilder;
+using codegen::KNode;
+using detail::check_words;
+using detail::wadd;
+using detail::wmul;
+
+// ---------------- matmul ----------------
+// C = A x B (DxD), classic triple nest with a MAC inner loop.
+
+class MatMul final : public Kernel {
+ public:
+  std::string_view name() const override { return "matmul"; }
+  std::string_view description() const override {
+    return "matrix multiply DxD (triple nest)";
+  }
+
+  static unsigned d(const KernelEnv& env) { return 8 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto dim = static_cast<std::int32_t>(d(env));
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(20, static_cast<std::int32_t>(env.in2_base));
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(22, dim * 4);  // row stride in bytes
+    kb.for_count(1, 0, dim, 1, [&] {        // i
+      kb.for_count(2, 0, dim, 1, [&] {      // j
+        kb.op(b::addi(16, 0, 0));           // acc
+        kb.op(b::mul(10, 1, 22));
+        kb.op(b::add(10, 10, 19));          // pa = A + i*D*4
+        kb.op(b::sll(11, 2, 2));
+        kb.op(b::add(11, 11, 20));          // pb = B + j*4
+        kb.for_count(3, 0, dim, 1, [&] {    // k
+          kb.op(b::lw(4, 0, 10));
+          kb.op(b::lw(5, 0, 11));
+          kb.op(b::mac(16, 4, 5));
+          kb.op(b::addi(10, 10, 4));
+          kb.op(b::add(11, 11, 22));        // pb += D*4
+        });
+        kb.op(b::sw(16, 0, 9));
+        kb.op(b::addi(9, 9, 4));
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 5);
+    const unsigned dim = d(env);
+    for (unsigned i = 0; i < dim * dim; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-100, 100)));
+      memory.write32(env.in2_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-100, 100)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 5);
+    const unsigned dim = d(env);
+    std::vector<std::int32_t> a(dim * dim), bm(dim * dim);
+    for (unsigned i = 0; i < dim * dim; ++i) {
+      a[i] = rng.range(-100, 100);
+      bm[i] = rng.range(-100, 100);
+    }
+    std::vector<std::int32_t> c(dim * dim);
+    for (unsigned i = 0; i < dim; ++i) {
+      for (unsigned j = 0; j < dim; ++j) {
+        std::int32_t acc = 0;
+        for (unsigned k = 0; k < dim; ++k) {
+          acc = wadd(acc, wmul(a[i * dim + k], bm[k * dim + j]));
+        }
+        c[i * dim + j] = acc;
+      }
+    }
+    return check_words(memory, env.out_base, c, "matmul");
+  }
+};
+
+// ---------------- conv2d ----------------
+// 3x3 convolution over a WxW image; the full 4-deep nest.
+
+class Conv2d final : public Kernel {
+ public:
+  std::string_view name() const override { return "conv2d"; }
+  std::string_view description() const override {
+    return "2-D convolution 3x3 (4-deep nest)";
+  }
+
+  static unsigned w(const KernelEnv& env) { return 12 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto width = static_cast<std::int32_t>(w(env));
+    const std::int32_t out_dim = width - 2;
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(20, static_cast<std::int32_t>(env.in2_base));  // 3x3 kernel
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(22, width * 4);
+    kb.for_count(1, 0, out_dim, 1, [&] {      // row
+      kb.for_count(2, 0, out_dim, 1, [&] {    // col
+        kb.op(b::addi(16, 0, 0));
+        kb.op(b::mul(10, 1, 22));
+        kb.op(b::add(10, 10, 19));
+        kb.op(b::sll(11, 2, 2));
+        kb.op(b::add(10, 10, 11));            // top-left input pixel
+        kb.op(b::add(11, 20, 0));             // kernel pointer
+        kb.for_count(3, 0, 3, 1, [&] {        // ky
+          kb.op(b::mul(12, 3, 22));
+          kb.op(b::add(12, 12, 10));          // row pointer
+          kb.for_count(4, 0, 3, 1, [&] {      // kx
+            kb.op(b::lw(5, 0, 12));
+            kb.op(b::lw(6, 0, 11));
+            kb.op(b::mac(16, 5, 6));
+            kb.op(b::addi(12, 12, 4));
+            kb.op(b::addi(11, 11, 4));
+          });
+        });
+        kb.op(b::sra(16, 16, 4));
+        kb.op(b::sw(16, 0, 9));
+        kb.op(b::addi(9, 9, 4));
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 6);
+    const unsigned width = w(env);
+    for (unsigned i = 0; i < width * width; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(0, 255)));
+    }
+    for (unsigned i = 0; i < 9; ++i) {
+      memory.write32(env.in2_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-8, 8)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 6);
+    const unsigned width = w(env);
+    std::vector<std::int32_t> img(width * width);
+    std::array<std::int32_t, 9> ker{};
+    for (auto& v : img) v = rng.range(0, 255);
+    for (auto& v : ker) v = rng.range(-8, 8);
+    const unsigned out_dim = width - 2;
+    std::vector<std::int32_t> out(out_dim * out_dim);
+    for (unsigned r = 0; r < out_dim; ++r) {
+      for (unsigned c = 0; c < out_dim; ++c) {
+        std::int32_t acc = 0;
+        for (unsigned ky = 0; ky < 3; ++ky) {
+          for (unsigned kx = 0; kx < 3; ++kx) {
+            acc = wadd(acc, wmul(img[(r + ky) * width + c + kx],
+                                 ker[ky * 3 + kx]));
+          }
+        }
+        out[r * out_dim + c] = acc >> 4;
+      }
+    }
+    return check_words(memory, env.out_base, out, "conv2d");
+  }
+};
+
+// ---------------- sobel ----------------
+// |gx| + |gy| edge magnitude, 3x3 unrolled, clamped to 255.
+
+class Sobel final : public Kernel {
+ public:
+  std::string_view name() const override { return "sobel"; }
+  std::string_view description() const override {
+    return "Sobel edge magnitude (unrolled 3x3, abs/min DSP ops)";
+  }
+
+  static unsigned w(const KernelEnv& env) { return 12 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto width = static_cast<std::int32_t>(w(env));
+    const std::int32_t out_dim = width - 2;
+    const std::int32_t s = width * 4;  // row stride
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(22, s);
+    kb.li(23, 255);
+    kb.for_count(1, 0, out_dim, 1, [&] {
+      kb.for_count(2, 0, out_dim, 1, [&] {
+        kb.op(b::mul(10, 1, 22));
+        kb.op(b::add(10, 10, 19));
+        kb.op(b::sll(11, 2, 2));
+        kb.op(b::add(10, 10, 11));  // top-left
+        // z1 z2 z3 / z4 _ z6 / z7 z8 z9
+        kb.op(b::lw(3, 0, 10));          // z1
+        kb.op(b::lw(4, 4, 10));          // z2
+        kb.op(b::lw(5, 8, 10));          // z3
+        kb.op(b::lw(6, s + 0, 10));      // z4
+        kb.op(b::lw(12, s + 8, 10));     // z6
+        kb.op(b::lw(13, 2 * s + 0, 10)); // z7
+        kb.op(b::lw(14, 2 * s + 4, 10)); // z8
+        kb.op(b::lw(15, 2 * s + 8, 10)); // z9
+        // gx = (z3 + 2 z6 + z9) - (z1 + 2 z4 + z7)
+        kb.op(b::sll(16, 12, 1));
+        kb.op(b::add(16, 16, 5));
+        kb.op(b::add(16, 16, 15));
+        kb.op(b::sll(17, 6, 1));
+        kb.op(b::add(17, 17, 3));
+        kb.op(b::add(17, 17, 13));
+        kb.op(b::sub(16, 16, 17));
+        // gy = (z7 + 2 z8 + z9) - (z1 + 2 z2 + z3)
+        kb.op(b::sll(18, 14, 1));
+        kb.op(b::add(18, 18, 13));
+        kb.op(b::add(18, 18, 15));
+        kb.op(b::sll(17, 4, 1));
+        kb.op(b::add(17, 17, 3));
+        kb.op(b::add(17, 17, 5));
+        kb.op(b::sub(18, 18, 17));
+        kb.op(b::abs_(16, 16));
+        kb.op(b::abs_(18, 18));
+        kb.op(b::add(16, 16, 18));
+        kb.op(b::min(16, 16, 23));  // clamp to 255
+        kb.op(b::sw(16, 0, 9));
+        kb.op(b::addi(9, 9, 4));
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 7);
+    const unsigned width = w(env);
+    for (unsigned i = 0; i < width * width; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(0, 255)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 7);
+    const unsigned width = w(env);
+    std::vector<std::int32_t> img(width * width);
+    for (auto& v : img) v = rng.range(0, 255);
+    const unsigned out_dim = width - 2;
+    std::vector<std::int32_t> out(out_dim * out_dim);
+    const auto px = [&](unsigned r, unsigned c) { return img[r * width + c]; };
+    for (unsigned r = 0; r < out_dim; ++r) {
+      for (unsigned c = 0; c < out_dim; ++c) {
+        const std::int32_t gx =
+            (px(r, c + 2) + 2 * px(r + 1, c + 2) + px(r + 2, c + 2)) -
+            (px(r, c) + 2 * px(r + 1, c) + px(r + 2, c));
+        const std::int32_t gy =
+            (px(r + 2, c) + 2 * px(r + 2, c + 1) + px(r + 2, c + 2)) -
+            (px(r, c) + 2 * px(r, c + 1) + px(r, c + 2));
+        out[r * out_dim + c] = std::min(std::abs(gx) + std::abs(gy), 255);
+      }
+    }
+    return check_words(memory, env.out_base, out, "sobel");
+  }
+};
+
+// ---------------- dct8x8 ----------------
+// Naive 2-D 8x8 DCT as two sequential 3-deep nests (rows then columns),
+// Q13 cosine table.
+
+class Dct8x8 final : public Kernel {
+ public:
+  std::string_view name() const override { return "dct8x8"; }
+  std::string_view description() const override {
+    return "8x8 2-D DCT, row pass + column pass (Q13)";
+  }
+
+  static std::int32_t cos_q13(unsigned u, unsigned x) {
+    const double c = std::cos((2.0 * x + 1.0) * u * 3.14159265358979323846 /
+                              16.0);
+    return static_cast<std::int32_t>(std::lround(c * 8192.0));
+  }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto tmp_base = static_cast<std::int32_t>(env.aux_base + 0x1000);
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(20, static_cast<std::int32_t>(env.aux_base));  // cos table (8x8)
+    kb.li(21, tmp_base);
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(22, 32);  // 8 * 4 row stride
+
+    // Pass 1: tmp[r][u] = sum_x in[r][x] * cos[u][x] >> 13
+    kb.for_count(1, 0, 8, 1, [&] {        // r
+      kb.for_count(2, 0, 8, 1, [&] {      // u
+        kb.op(b::addi(16, 0, 0));
+        kb.op(b::mul(10, 1, 22));
+        kb.op(b::add(10, 10, 19));        // &in[r][0]
+        kb.op(b::mul(11, 2, 22));
+        kb.op(b::add(11, 11, 20));        // &cos[u][0]
+        kb.for_count(3, 0, 8, 1, [&] {    // x
+          kb.op(b::lw(4, 0, 10));
+          kb.op(b::lw(5, 0, 11));
+          kb.op(b::mac(16, 4, 5));
+          kb.op(b::addi(10, 10, 4));
+          kb.op(b::addi(11, 11, 4));
+        });
+        kb.op(b::sra(16, 16, 13));
+        kb.op(b::mul(12, 1, 22));
+        kb.op(b::sll(13, 2, 2));
+        kb.op(b::add(12, 12, 13));
+        kb.op(b::add(12, 12, 21));
+        kb.op(b::sw(16, 0, 12));          // tmp[r][u]
+      });
+    });
+    // Pass 2: out[u][v] = sum_r tmp[r][v] * cos[u][r] >> 13
+    kb.for_count(1, 0, 8, 1, [&] {        // u
+      kb.for_count(2, 0, 8, 1, [&] {      // v
+        kb.op(b::addi(16, 0, 0));
+        kb.op(b::sll(10, 2, 2));
+        kb.op(b::add(10, 10, 21));        // &tmp[0][v]
+        kb.op(b::mul(11, 1, 22));
+        kb.op(b::add(11, 11, 20));        // &cos[u][0]
+        kb.for_count(3, 0, 8, 1, [&] {    // r
+          kb.op(b::lw(4, 0, 10));
+          kb.op(b::lw(5, 0, 11));
+          kb.op(b::mac(16, 4, 5));
+          kb.op(b::add(10, 10, 22));
+          kb.op(b::addi(11, 11, 4));
+        });
+        kb.op(b::sra(16, 16, 13));
+        kb.op(b::sw(16, 0, 9));
+        kb.op(b::addi(9, 9, 4));
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 8);
+    for (unsigned i = 0; i < 64; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-128, 127)));
+    }
+    for (unsigned u = 0; u < 8; ++u) {
+      for (unsigned x = 0; x < 8; ++x) {
+        memory.write32(env.aux_base + (u * 8 + x) * 4,
+                       static_cast<std::uint32_t>(cos_q13(u, x)));
+      }
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 8);
+    std::int32_t in[8][8];
+    for (auto& row : in) {
+      for (auto& v : row) v = rng.range(-128, 127);
+    }
+    std::int32_t tmp[8][8];
+    for (unsigned r = 0; r < 8; ++r) {
+      for (unsigned u = 0; u < 8; ++u) {
+        std::int32_t acc = 0;
+        for (unsigned x = 0; x < 8; ++x) {
+          acc = wadd(acc, wmul(in[r][x], cos_q13(u, x)));
+        }
+        tmp[r][u] = acc >> 13;
+      }
+    }
+    std::vector<std::int32_t> out(64);
+    for (unsigned u = 0; u < 8; ++u) {
+      for (unsigned v = 0; v < 8; ++v) {
+        std::int32_t acc = 0;
+        for (unsigned r = 0; r < 8; ++r) {
+          acc = wadd(acc, wmul(tmp[r][v], cos_q13(u, r)));
+        }
+        out[u * 8 + v] = acc >> 13;
+      }
+    }
+    return check_words(memory, env.out_base, out, "dct8x8");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_matmul() { return std::make_unique<MatMul>(); }
+std::unique_ptr<Kernel> make_conv2d() { return std::make_unique<Conv2d>(); }
+std::unique_ptr<Kernel> make_sobel() { return std::make_unique<Sobel>(); }
+std::unique_ptr<Kernel> make_dct8x8() { return std::make_unique<Dct8x8>(); }
+
+}  // namespace zolcsim::kernels

@@ -1,0 +1,26 @@
+// Internal factory declarations for the kernel registry.
+#ifndef ZOLCSIM_KERNELS_KERNELS_IMPL_HPP
+#define ZOLCSIM_KERNELS_KERNELS_IMPL_HPP
+
+#include <memory>
+
+#include "kernels/kernels.hpp"
+
+namespace zolcsim::kernels {
+
+std::unique_ptr<Kernel> make_dotprod();
+std::unique_ptr<Kernel> make_vecmax();
+std::unique_ptr<Kernel> make_fir();
+std::unique_ptr<Kernel> make_iir_biquad();
+std::unique_ptr<Kernel> make_crc32();
+std::unique_ptr<Kernel> make_matmul();
+std::unique_ptr<Kernel> make_conv2d();
+std::unique_ptr<Kernel> make_sobel();
+std::unique_ptr<Kernel> make_dct8x8();
+std::unique_ptr<Kernel> make_fft();
+std::unique_ptr<Kernel> make_me_fsbm();
+std::unique_ptr<Kernel> make_me_tss();
+
+}  // namespace zolcsim::kernels
+
+#endif  // ZOLCSIM_KERNELS_KERNELS_IMPL_HPP

@@ -1,0 +1,293 @@
+// Motion-estimation kernels: me_fsbm (full-search block matching, the
+// paper's motivating 4-deep nest) and me_tss (three-step search, with a
+// data-dependent early exit that exercises ZOLCfull's candidate-exit
+// records).
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+namespace zolcsim::kernels {
+
+namespace {
+
+namespace b = isa::build;
+using codegen::KernelBuilder;
+using codegen::KNode;
+using detail::check_words;
+using isa::Opcode;
+
+// ---------------- me_fsbm ----------------
+// Exhaustive 9x9 candidate search of an 8x8 block in a 16x16 window.
+
+class MeFsbm final : public Kernel {
+ public:
+  std::string_view name() const override { return "me_fsbm"; }
+  std::string_view description() const override {
+    return "full-search block matching 8x8 in 16x16 (4-deep nest)";
+  }
+
+  static constexpr unsigned kWin = 16;
+  static constexpr unsigned kBlk = 8;
+  static constexpr unsigned kCand = kWin - kBlk + 1;  // 9
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));   // window
+    kb.li(20, static_cast<std::int32_t>(env.in2_base));  // block
+    kb.li(22, kWin * 4);                                 // window row stride
+    kb.li(16, INT32_MAX);                                // best SAD
+    kb.li(17, 0);                                        // best dy
+    kb.li(18, 0);                                        // best dx
+    kb.for_count(1, 0, kCand, 1, [&] {        // dy
+      kb.for_count(2, 0, kCand, 1, [&] {      // dx
+        kb.op(b::addi(21, 0, 0));             // sad
+        kb.op(b::mul(10, 1, 22));
+        kb.op(b::add(10, 10, 19));
+        kb.op(b::sll(11, 2, 2));
+        kb.op(b::add(10, 10, 11));            // window candidate pointer
+        kb.op(b::add(11, 20, 0));             // block pointer
+        kb.for_count(3, 0, kBlk, 1, [&] {     // y
+          kb.for_count(4, 0, kBlk, 1, [&] {   // x
+            kb.op(b::lw(5, 0, 10));
+            kb.op(b::lw(6, 0, 11));
+            kb.op(b::sub(5, 5, 6));
+            kb.op(b::abs_(5, 5));
+            kb.op(b::add(21, 21, 5));
+            kb.op(b::addi(10, 10, 4));
+            kb.op(b::addi(11, 11, 4));
+          });
+          kb.op(b::addi(10, 10, (kWin - kBlk) * 4));  // next window row
+        });
+        kb.if_cond(Opcode::kBlt, 21, 16, [&] {  // sad < best
+          kb.op(b::add(16, 21, 0));
+          kb.op(b::add(17, 1, 0));
+          kb.op(b::add(18, 2, 0));
+        });
+      });
+    });
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(16, 0, 9));
+    kb.op(b::sw(17, 4, 9));
+    kb.op(b::sw(18, 8, 9));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 10);
+    for (unsigned i = 0; i < kWin * kWin; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(0, 255)));
+    }
+    // Block = window contents at (3, 5) plus mild noise, so there is a
+    // clear (but not zero-SAD) winner.
+    for (unsigned y = 0; y < kBlk; ++y) {
+      for (unsigned x = 0; x < kBlk; ++x) {
+        const auto v = static_cast<std::int32_t>(
+            memory.read32(env.in_base + ((y + 3) * kWin + (x + 5)) * 4));
+        const std::int32_t noisy =
+            std::clamp(v + rng.range(-2, 2), 0, 255);
+        memory.write32(env.in2_base + (y * kBlk + x) * 4,
+                       static_cast<std::uint32_t>(noisy));
+      }
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    // Re-derive inputs exactly as setup did.
+    Lcg rng(env.seed + 10);
+    std::array<std::int32_t, kWin * kWin> win{};
+    for (auto& v : win) v = rng.range(0, 255);
+    std::array<std::int32_t, kBlk * kBlk> blk{};
+    for (unsigned y = 0; y < kBlk; ++y) {
+      for (unsigned x = 0; x < kBlk; ++x) {
+        blk[y * kBlk + x] = std::clamp(
+            win[(y + 3) * kWin + (x + 5)] + rng.range(-2, 2), 0, 255);
+      }
+    }
+    std::int32_t best = INT32_MAX, bdy = 0, bdx = 0;
+    for (unsigned dy = 0; dy < kCand; ++dy) {
+      for (unsigned dx = 0; dx < kCand; ++dx) {
+        std::int32_t sad = 0;
+        for (unsigned y = 0; y < kBlk; ++y) {
+          for (unsigned x = 0; x < kBlk; ++x) {
+            sad += std::abs(win[(dy + y) * kWin + dx + x] -
+                            blk[y * kBlk + x]);
+          }
+        }
+        if (sad < best) {
+          best = sad;
+          bdy = static_cast<std::int32_t>(dy);
+          bdx = static_cast<std::int32_t>(dx);
+        }
+      }
+    }
+    return check_words(memory, env.out_base, {best, bdy, bdx}, "me_fsbm");
+  }
+};
+
+// ---------------- me_tss ----------------
+// Three-step search around a moving center, with an early exit (perfect
+// match) from the candidate loop -- a true multi-exit loop structure.
+
+class MeTss final : public Kernel {
+ public:
+  std::string_view name() const override { return "me_tss"; }
+  std::string_view description() const override {
+    return "three-step search with perfect-match early exit (multi-exit)";
+  }
+
+  static constexpr unsigned kWin = 24;     // positions 0..16
+  static constexpr unsigned kBlk = 8;
+  static constexpr std::int32_t kMaxPos = kWin - kBlk;  // 16
+  static constexpr std::int32_t kCenter0 = 8;
+  static constexpr unsigned kMatchY = 4, kMatchX = 12;
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(31, static_cast<std::int32_t>(env.in_base));   // window
+    kb.li(9, static_cast<std::int32_t>(env.in2_base));   // block
+    kb.li(28, static_cast<std::int32_t>(env.aux_base));          // dy table
+    kb.li(29, static_cast<std::int32_t>(env.aux_base + 0x100));  // dx table
+    kb.li(22, kWin * 4);
+    kb.li(23, 4);
+    kb.li(30, kMaxPos);
+    kb.li(17, kCenter0);  // center y
+    kb.li(18, kCenter0);  // center x
+    kb.for_count(1, 0, 3, 1, [&] {            // step index: step = 4 >> s
+      kb.op(b::srlv(16, 1, 23));
+      kb.li(19, INT32_MAX);                   // best SAD this step
+      kb.op(b::add(20, 17, 0));               // best y = center
+      kb.op(b::add(21, 18, 0));               // best x = center
+      kb.for_count(2, 0, 9, 1, [&] {          // candidates
+        kb.op(b::sll(3, 2, 2));
+        kb.op(b::add(3, 3, 28));
+        kb.op(b::lw(4, 0, 3));                // dy in {-1,0,1}
+        kb.op(b::sll(3, 2, 2));
+        kb.op(b::add(3, 3, 29));
+        kb.op(b::lw(5, 0, 3));                // dx
+        kb.op(b::mul(4, 4, 16));
+        kb.op(b::add(4, 4, 17));              // cand y
+        kb.op(b::mul(5, 5, 16));
+        kb.op(b::add(5, 5, 18));              // cand x
+        kb.op(b::max(4, 4, 0));
+        kb.op(b::min(4, 4, 30));
+        kb.op(b::max(5, 5, 0));
+        kb.op(b::min(5, 5, 30));
+        kb.op(b::addi(6, 0, 0));              // sad
+        kb.op(b::mul(7, 4, 22));
+        kb.op(b::add(7, 7, 31));
+        kb.op(b::sll(3, 5, 2));
+        kb.op(b::add(7, 7, 3));               // window pointer
+        kb.op(b::add(8, 9, 0));               // block pointer
+        kb.for_count(12, 0, kBlk, 1, [&] {    // y
+          kb.for_count(13, 0, kBlk, 1, [&] {  // x
+            kb.op(b::lw(14, 0, 7));
+            kb.op(b::lw(15, 0, 8));
+            kb.op(b::sub(14, 14, 15));
+            kb.op(b::abs_(14, 14));
+            kb.op(b::add(6, 6, 14));
+            kb.op(b::addi(7, 7, 4));
+            kb.op(b::addi(8, 8, 4));
+          });
+          kb.op(b::addi(7, 7, (kWin - kBlk) * 4));
+        });
+        kb.if_cond(Opcode::kBlt, 6, 19, [&] {  // sad < best
+          kb.op(b::add(19, 6, 0));
+          kb.op(b::add(20, 4, 0));
+          kb.op(b::add(21, 5, 0));
+        });
+        kb.break_if(Opcode::kBeq, 6, 0);       // perfect match: stop scanning
+      });
+      kb.op(b::add(17, 20, 0));  // move center to the best candidate
+      kb.op(b::add(18, 21, 0));
+    });
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(17, 0, 9));
+    kb.op(b::sw(18, 4, 9));
+    kb.op(b::sw(19, 8, 9));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 11);
+    std::array<std::int32_t, kWin * kWin> win{};
+    for (auto& v : win) v = rng.range(0, 255);
+    for (unsigned i = 0; i < kWin * kWin; ++i) {
+      memory.write32(env.in_base + i * 4, static_cast<std::uint32_t>(win[i]));
+    }
+    // Block is an exact copy at (kMatchY, kMatchX): the step-4 ring around
+    // the initial center reaches it, so the early exit fires.
+    for (unsigned y = 0; y < kBlk; ++y) {
+      for (unsigned x = 0; x < kBlk; ++x) {
+        memory.write32(
+            env.in2_base + (y * kBlk + x) * 4,
+            static_cast<std::uint32_t>(win[(y + kMatchY) * kWin + x +
+                                           kMatchX]));
+      }
+    }
+    static constexpr std::int32_t dy[9] = {-1, -1, -1, 0, 0, 0, 1, 1, 1};
+    static constexpr std::int32_t dx[9] = {-1, 0, 1, -1, 0, 1, -1, 0, 1};
+    for (unsigned i = 0; i < 9; ++i) {
+      memory.write32(env.aux_base + i * 4, static_cast<std::uint32_t>(dy[i]));
+      memory.write32(env.aux_base + 0x100 + i * 4,
+                     static_cast<std::uint32_t>(dx[i]));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 11);
+    std::array<std::int32_t, kWin * kWin> win{};
+    for (auto& v : win) v = rng.range(0, 255);
+    std::array<std::int32_t, kBlk * kBlk> blk{};
+    for (unsigned y = 0; y < kBlk; ++y) {
+      for (unsigned x = 0; x < kBlk; ++x) {
+        blk[y * kBlk + x] = win[(y + kMatchY) * kWin + x + kMatchX];
+      }
+    }
+    static constexpr std::int32_t dy[9] = {-1, -1, -1, 0, 0, 0, 1, 1, 1};
+    static constexpr std::int32_t dx[9] = {-1, 0, 1, -1, 0, 1, -1, 0, 1};
+    std::int32_t cy = kCenter0, cx = kCenter0;
+    std::int32_t best = 0;
+    for (int s = 0; s < 3; ++s) {
+      const std::int32_t step = 4 >> s;
+      best = INT32_MAX;
+      std::int32_t by = cy, bx = cx;
+      for (int c = 0; c < 9; ++c) {
+        const std::int32_t y0 =
+            std::clamp(cy + dy[c] * step, 0, kMaxPos);
+        const std::int32_t x0 =
+            std::clamp(cx + dx[c] * step, 0, kMaxPos);
+        std::int32_t sad = 0;
+        for (unsigned y = 0; y < kBlk; ++y) {
+          for (unsigned x = 0; x < kBlk; ++x) {
+            sad += std::abs(
+                win[(static_cast<unsigned>(y0) + y) * kWin +
+                    static_cast<unsigned>(x0) + x] -
+                blk[y * kBlk + x]);
+          }
+        }
+        if (sad < best) {
+          best = sad;
+          by = y0;
+          bx = x0;
+        }
+        if (sad == 0) break;  // mirrors the kernel's early exit
+      }
+      cy = by;
+      cx = bx;
+    }
+    return check_words(memory, env.out_base, {cy, cx, best}, "me_tss");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_me_fsbm() { return std::make_unique<MeFsbm>(); }
+std::unique_ptr<Kernel> make_me_tss() { return std::make_unique<MeTss>(); }
+
+}  // namespace zolcsim::kernels

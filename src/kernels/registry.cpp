@@ -1,0 +1,56 @@
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace zolcsim::kernels {
+
+const std::vector<std::unique_ptr<Kernel>>& kernel_registry() {
+  static const auto* kernels = [] {
+    auto* v = new std::vector<std::unique_ptr<Kernel>>();
+    v->push_back(make_dotprod());
+    v->push_back(make_vecmax());
+    v->push_back(make_fir());
+    v->push_back(make_iir_biquad());
+    v->push_back(make_crc32());
+    v->push_back(make_matmul());
+    v->push_back(make_conv2d());
+    v->push_back(make_sobel());
+    v->push_back(make_dct8x8());
+    v->push_back(make_fft());
+    v->push_back(make_me_fsbm());
+    v->push_back(make_me_tss());
+    return v;
+  }();
+  return *kernels;
+}
+
+const Kernel* find_kernel(std::string_view name) {
+  for (const auto& kernel : kernel_registry()) {
+    if (kernel->name() == name) return kernel.get();
+  }
+  return nullptr;
+}
+
+namespace detail {
+
+Result<void> check_words(const mem::Memory& memory, std::uint32_t addr,
+                         const std::vector<std::int32_t>& expected,
+                         std::string_view what) {
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto got = static_cast<std::int32_t>(
+        memory.read32(addr + static_cast<std::uint32_t>(i) * 4));
+    if (got != expected[i]) {
+      std::ostringstream os;
+      os << what << "[" << i << "]: expected " << expected[i] << ", got "
+         << got << " at " << hex32(addr + static_cast<std::uint32_t>(i) * 4);
+      return Error{os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace detail
+}  // namespace zolcsim::kernels

@@ -1,0 +1,125 @@
+#include "mem/memory.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+
+namespace zolcsim::mem {
+
+namespace {
+
+[[noreturn]] void misaligned(std::uint32_t addr, unsigned size) {
+  throw MemoryFault("misaligned " + std::to_string(size) +
+                    "-byte access at " + hex32(addr));
+}
+
+}  // namespace
+
+const std::uint8_t* Memory::page_for_read(std::uint32_t addr) const {
+  const auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t* Memory::page_for_write(std::uint32_t addr) {
+  Page& page = pages_[addr >> kPageBits];
+  if (!page) {
+    page = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+  }
+  return page.get();
+}
+
+std::uint8_t Memory::read8(std::uint32_t addr) const {
+  ++stats_.reads;
+  ++stats_.bytes_read;
+  const std::uint8_t* page = page_for_read(addr);
+  return page ? page[addr & (kPageSize - 1)] : 0;
+}
+
+std::uint16_t Memory::read16(std::uint32_t addr) const {
+  if (!is_aligned(addr, 2)) misaligned(addr, 2);
+  ++stats_.reads;
+  stats_.bytes_read += 2;
+  const std::uint8_t* page = page_for_read(addr);
+  if (!page) return 0;
+  const std::uint32_t ofs = addr & (kPageSize - 1);
+  return static_cast<std::uint16_t>(page[ofs] |
+                                    (static_cast<std::uint16_t>(page[ofs + 1]) << 8));
+}
+
+std::uint32_t Memory::read32(std::uint32_t addr) const {
+  if (!is_aligned(addr, 4)) misaligned(addr, 4);
+  ++stats_.reads;
+  stats_.bytes_read += 4;
+  const std::uint8_t* page = page_for_read(addr);
+  if (!page) return 0;
+  const std::uint32_t ofs = addr & (kPageSize - 1);
+  std::uint32_t value = 0;
+  std::memcpy(&value, page + ofs, 4);  // host is little-endian (x86/ARM64)
+  return value;
+}
+
+std::uint32_t Memory::fetch32(std::uint32_t addr) const {
+  if (!is_aligned(addr, 4)) misaligned(addr, 4);
+  const std::uint8_t* page = page_for_read(addr);
+  if (!page) return 0;
+  std::uint32_t value = 0;
+  std::memcpy(&value, page + (addr & (kPageSize - 1)), 4);
+  return value;
+}
+
+void Memory::write8(std::uint32_t addr, std::uint8_t value) {
+  ++stats_.writes;
+  ++stats_.bytes_written;
+  page_for_write(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void Memory::write16(std::uint32_t addr, std::uint16_t value) {
+  if (!is_aligned(addr, 2)) misaligned(addr, 2);
+  ++stats_.writes;
+  stats_.bytes_written += 2;
+  std::uint8_t* page = page_for_write(addr);
+  const std::uint32_t ofs = addr & (kPageSize - 1);
+  page[ofs] = static_cast<std::uint8_t>(value & 0xFF);
+  page[ofs + 1] = static_cast<std::uint8_t>(value >> 8);
+}
+
+void Memory::write32(std::uint32_t addr, std::uint32_t value) {
+  if (!is_aligned(addr, 4)) misaligned(addr, 4);
+  ++stats_.writes;
+  stats_.bytes_written += 4;
+  std::uint8_t* page = page_for_write(addr);
+  std::memcpy(page + (addr & (kPageSize - 1)), &value, 4);
+}
+
+void Memory::load_bytes(std::uint32_t addr,
+                        std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::uint8_t* page = page_for_write(addr + static_cast<std::uint32_t>(i));
+    page[(addr + i) & (kPageSize - 1)] = bytes[i];
+  }
+}
+
+void Memory::load_words(std::uint32_t addr,
+                        std::span<const std::uint32_t> words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+    if (!is_aligned(a, 4)) misaligned(a, 4);
+    std::uint8_t* page = page_for_write(a);
+    std::memcpy(page + (a & (kPageSize - 1)), &words[i], 4);
+  }
+}
+
+std::vector<std::uint32_t> Memory::read_words(std::uint32_t addr,
+                                              std::size_t count) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(fetch32(addr + static_cast<std::uint32_t>(i) * 4));
+  }
+  return out;
+}
+
+}  // namespace zolcsim::mem

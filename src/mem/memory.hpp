@@ -1,0 +1,83 @@
+// Sparse byte-addressable memory model. Little-endian, paged allocation so a
+// full 4 GiB address space can be simulated with only the touched pages
+// resident. Misaligned accesses raise MemoryFault (the modelled core, like
+// XiRisc, has no misaligned access support).
+#ifndef ZOLCSIM_MEM_MEMORY_HPP
+#define ZOLCSIM_MEM_MEMORY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zolcsim::mem {
+
+/// Thrown on misaligned accesses. Models a precise alignment trap.
+class MemoryFault : public std::runtime_error {
+ public:
+  explicit MemoryFault(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Access counters, reset with Memory::reset_stats().
+struct MemoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class Memory {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;  // 4 KiB pages
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  Memory() = default;
+
+  // Reads. Unwritten memory reads as zero.
+  [[nodiscard]] std::uint8_t read8(std::uint32_t addr) const;
+  [[nodiscard]] std::uint16_t read16(std::uint32_t addr) const;
+  [[nodiscard]] std::uint32_t read32(std::uint32_t addr) const;
+
+  // Writes.
+  void write8(std::uint32_t addr, std::uint8_t value);
+  void write16(std::uint32_t addr, std::uint16_t value);
+  void write32(std::uint32_t addr, std::uint32_t value);
+
+  /// Instruction fetch: same as read32 but not counted in data statistics.
+  [[nodiscard]] std::uint32_t fetch32(std::uint32_t addr) const;
+
+  /// Copies a block of bytes into memory starting at `addr`.
+  void load_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+
+  /// Copies 32-bit words (little-endian) into memory starting at `addr`.
+  void load_words(std::uint32_t addr, std::span<const std::uint32_t> words);
+
+  /// Reads `count` words starting at `addr` into a vector.
+  [[nodiscard]] std::vector<std::uint32_t> read_words(std::uint32_t addr,
+                                                      std::size_t count) const;
+
+  [[nodiscard]] const MemoryStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MemoryStats{}; }
+
+  /// Number of resident (touched) pages; used by tests to verify sparseness.
+  [[nodiscard]] std::size_t resident_pages() const noexcept {
+    return pages_.size();
+  }
+
+ private:
+  using Page = std::unique_ptr<std::uint8_t[]>;
+
+  [[nodiscard]] const std::uint8_t* page_for_read(std::uint32_t addr) const;
+  [[nodiscard]] std::uint8_t* page_for_write(std::uint32_t addr);
+
+  std::unordered_map<std::uint32_t, Page> pages_;
+  mutable MemoryStats stats_;
+};
+
+}  // namespace zolcsim::mem
+
+#endif  // ZOLCSIM_MEM_MEMORY_HPP

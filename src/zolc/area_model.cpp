@@ -1,0 +1,123 @@
+#include "zolc/area_model.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim::zolc {
+
+namespace {
+
+using namespace gate_cost;
+
+double eq(unsigned bits) { return kEqPerBit * bits; }
+double adder(unsigned bits) { return kAddPerBit * bits; }
+double cmp(unsigned bits) { return kCmpPerBit * bits; }
+double mux2(unsigned bits) { return kMux2PerBit * bits; }
+/// n:1 read-mux tree over `bits`-wide words: (n-1) 2:1 muxes per bit.
+double read_tree(unsigned n, unsigned bits) {
+  return kMux2PerBit * (n - 1) * bits;
+}
+
+/// Calibrated control/glue terms (mode FSM, write sequencing, enables) such
+/// that structural + glue equals the paper's synthesis totals.
+constexpr double kGlueMicro = 18.0;
+constexpr double kGlueLite = 288.0;
+constexpr double kGlueFull = 356.0;
+
+unsigned storage_bits_for(ZolcVariant variant) {
+  switch (variant) {
+    case ZolcVariant::kMicro:
+      // Six 32-bit data registers + three 16-bit control registers.
+      return 6 * 32 + 3 * 16;
+    case ZolcVariant::kLite:
+      // Task LUT 32x32 + task-start 32x16 + loop table 8x64 + status 16.
+      return 32 * 32 + 32 * 16 + 8 * 64 + 16;
+    case ZolcVariant::kFull:
+      // Lite storage + 32 exit records x 48 + 32 entry records x 48.
+      return storage_bits_for(ZolcVariant::kLite) +
+             kFullExitRecords * 48 + kFullEntryRecords * 48;
+  }
+  ZS_UNREACHABLE("unknown variant");
+}
+
+}  // namespace
+
+AreaBreakdown area_model(ZolcVariant variant) {
+  AreaBreakdown b;
+  b.variant = variant;
+  b.storage_bits = storage_bits_for(variant);
+  b.storage_bytes = b.storage_bits / 8;
+
+  auto add = [&b](std::string name, double gates) {
+    b.items.push_back(AreaItem{std::move(name), gates});
+  };
+
+  switch (variant) {
+    case ZolcVariant::kMicro:
+      add("end-PC equality comparator (32b)", eq(32));
+      add("index update adder (32b)", adder(32));
+      add("termination comparator (32b)", cmp(32));
+      add("next-PC select mux (32b 2:1)", mux2(32));
+      b.glue_gates = kGlueMicro;
+      break;
+    case ZolcVariant::kLite:
+    case ZolcVariant::kFull:
+      add("end-PC equality comparator (16b offset)", eq(16));
+      add("task LUT read tree (32:1 x 32b)", read_tree(32, 32));
+      add("task-start read tree (32:1 x 16b)", read_tree(32, 16));
+      add("loop table read tree (8:1 x 64b)", read_tree(8, 64));
+      add("index update adder (16b)", adder(16));
+      add("termination comparator (16b)", cmp(16));
+      add("next-PC offset adder (base + ofs<<2, 32b)", adder(32));
+      add("next-PC select mux (32b 2:1)", mux2(32));
+      add("RF write-port data mux (32b 2:1)", mux2(32));
+      add("table write-address decoders (5b + 3b)", 28.0);
+      b.glue_gates = kGlueLite;
+      if (variant == ZolcVariant::kFull) {
+        add("candidate-exit comparators (4 x 16b)", 4 * eq(16));
+        add("multi-entry comparators (4 x 16b)", 4 * eq(16));
+        add("record valid/match logic (32 records)", 32.0);
+        add("matched-record wired-OR networks (2 x 48b)", 96.0);
+        add("reinit-mask distribution (8 loops)", 48.0);
+        b.glue_gates = kGlueFull;
+      }
+      break;
+  }
+
+  b.structural_gates =
+      std::accumulate(b.items.begin(), b.items.end(), 0.0,
+                      [](double acc, const AreaItem& item) {
+                        return acc + item.gates;
+                      });
+  b.total_gates = b.structural_gates + b.glue_gates;
+  return b;
+}
+
+TimingEstimate timing_model(ZolcVariant variant) {
+  TimingEstimate t;
+  // Processor EX-stage path (0.13 um-class): RF read, forwarding mux,
+  // 32-bit ALU add, result setup/bypass.
+  constexpr double kRfRead = 1.40, kFwdMux = 0.55, kAlu32 = 2.45,
+                   kSetup = 1.48;
+  t.cpu_critical_ns = kRfRead + kFwdMux + kAlu32 + kSetup;  // 5.88 ns
+
+  switch (variant) {
+    case ZolcVariant::kMicro:
+      // end-PC compare -> 32b index add -> termination cmp -> next-PC mux.
+      t.zolc_critical_ns = 0.80 + 1.95 + 1.10 + 0.35;  // 4.20 ns
+      break;
+    case ZolcVariant::kLite:
+    case ZolcVariant::kFull:
+      // end-PC compare -> task LUT read -> loop param read -> 16b index add
+      // -> termination cmp -> cascade priority select -> next-PC mux.
+      t.zolc_critical_ns = 0.62 + 1.15 + 0.95 + 1.30 + 0.75 + 0.40 + 0.35;
+      break;
+  }
+  t.zolc_limits_clock = t.zolc_critical_ns > t.cpu_critical_ns;
+  t.fmax_mhz = 1000.0 /
+               (t.zolc_limits_clock ? t.zolc_critical_ns : t.cpu_critical_ns);
+  return t;
+}
+
+}  // namespace zolcsim::zolc

@@ -1,0 +1,71 @@
+// Storage / combinational-area / timing model for the three ZOLC variants.
+//
+// The paper reports synthesis results on a 0.13 um ASIC process:
+//   storage: uZOLC 30 B, ZOLClite 258 B, ZOLCfull 642 B
+//   area:    uZOLC 298, ZOLClite 4056, ZOLCfull 4428 equivalent gates
+//   timing:  processor cycle time unaffected, ~170 MHz
+//
+// We cannot re-run the original synthesis flow, so this module derives the
+// same numbers structurally:
+//   * storage is computed exactly from the documented table geometries
+//     (DESIGN.md 4.1) -- no calibration involved;
+//   * combinational area is a component inventory (comparators, adders,
+//     read-mux trees, match logic) priced in NAND2-equivalent gates with
+//     fixed per-bit coefficients, plus a per-variant "control/glue" term
+//     calibrated so the totals match the paper's synthesis results; tests
+//     assert the glue term stays positive and below 15% of the total, i.e.
+//     the *structure* explains the area scaling between variants;
+//   * timing is a static longest-path estimate showing the ZOLC next-PC
+//     path is shorter than the processor's ALU path (hence "cycle time not
+//     affected").
+#ifndef ZOLCSIM_ZOLC_AREA_MODEL_HPP
+#define ZOLCSIM_ZOLC_AREA_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "zolc/config.hpp"
+
+namespace zolcsim::zolc {
+
+/// One component line in the area inventory.
+struct AreaItem {
+  std::string name;
+  double gates = 0.0;  ///< NAND2-equivalent gates
+};
+
+struct AreaBreakdown {
+  ZolcVariant variant = ZolcVariant::kMicro;
+  unsigned storage_bits = 0;
+  unsigned storage_bytes = 0;
+  std::vector<AreaItem> items;   ///< structural components
+  double structural_gates = 0.0; ///< sum of items
+  double glue_gates = 0.0;       ///< calibrated control/glue term
+  double total_gates = 0.0;      ///< structural + glue (matches the paper)
+};
+
+/// Computes the storage and area inventory for `variant`.
+[[nodiscard]] AreaBreakdown area_model(ZolcVariant variant);
+
+/// Static timing estimate (0.13 um-class delays).
+struct TimingEstimate {
+  double cpu_critical_ns = 0.0;   ///< processor's EX-stage path
+  double zolc_critical_ns = 0.0;  ///< ZOLC task-end -> next-PC path
+  double fmax_mhz = 0.0;          ///< 1000 / max(cpu, zolc)
+  bool zolc_limits_clock = false; ///< true would contradict the paper
+};
+
+[[nodiscard]] TimingEstimate timing_model(ZolcVariant variant);
+
+/// NAND2-equivalent per-bit pricing used by the inventory (exposed so tests
+/// and documentation can reference one authoritative set of coefficients).
+namespace gate_cost {
+inline constexpr double kEqPerBit = 1.0;    ///< XNOR + AND-tree slice
+inline constexpr double kAddPerBit = 4.0;   ///< optimized ripple adder
+inline constexpr double kCmpPerBit = 2.0;   ///< magnitude comparator slice
+inline constexpr double kMux2PerBit = 1.75; ///< 2:1 mux (read trees use n-1)
+}  // namespace gate_cost
+
+}  // namespace zolcsim::zolc
+
+#endif  // ZOLCSIM_ZOLC_AREA_MODEL_HPP

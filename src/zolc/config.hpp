@@ -1,0 +1,49 @@
+// ZOLC hardware variants and their capacities (Section 3 of the paper):
+//   uZOLC    -- single-loop controller, no task sequencing
+//   ZOLClite -- 32 task entries, 8 loops, single-entry/exit loops only
+//   ZOLCfull -- ZOLClite + up to 4 entry and 4 exit nodes per loop
+#ifndef ZOLCSIM_ZOLC_CONFIG_HPP
+#define ZOLCSIM_ZOLC_CONFIG_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace zolcsim::zolc {
+
+enum class ZolcVariant : std::uint8_t { kMicro, kLite, kFull };
+
+struct ZolcCapacity {
+  unsigned max_tasks = 0;
+  unsigned max_loops = 0;
+  unsigned max_exits_per_loop = 0;
+  unsigned max_entries_per_loop = 0;
+};
+
+constexpr ZolcCapacity capacity(ZolcVariant variant) noexcept {
+  switch (variant) {
+    case ZolcVariant::kMicro:
+      return {0, 1, 0, 0};
+    case ZolcVariant::kLite:
+      return {32, 8, 0, 0};
+    case ZolcVariant::kFull:
+      return {32, 8, 4, 4};
+  }
+  return {};
+}
+
+constexpr std::string_view variant_name(ZolcVariant variant) noexcept {
+  switch (variant) {
+    case ZolcVariant::kMicro: return "uZOLC";
+    case ZolcVariant::kLite:  return "ZOLClite";
+    case ZolcVariant::kFull:  return "ZOLCfull";
+  }
+  return "?";
+}
+
+/// Total number of exit/entry records in the full variant (8 loops x 4).
+inline constexpr unsigned kFullExitRecords = 32;
+inline constexpr unsigned kFullEntryRecords = 32;
+
+}  // namespace zolcsim::zolc
+
+#endif  // ZOLCSIM_ZOLC_CONFIG_HPP

@@ -1,0 +1,381 @@
+#include "zolc/controller.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+#include "cpu/exec.hpp"
+
+namespace zolcsim::zolc {
+
+namespace {
+
+using cpu::AccelEvent;
+using cpu::RfWrite;
+using cpu::SimError;
+using isa::Opcode;
+
+}  // namespace
+
+ZolcController::ZolcController(ZolcVariant variant)
+    : variant_(variant), cap_(capacity(variant)) {}
+
+const TaskEntry& ZolcController::task(unsigned idx) const {
+  ZS_EXPECTS(idx < cap_.max_tasks);
+  return tasks_[idx];
+}
+
+std::uint16_t ZolcController::task_start(unsigned idx) const {
+  ZS_EXPECTS(idx < cap_.max_tasks);
+  return task_start_[idx];
+}
+
+const LoopEntry& ZolcController::loop(unsigned idx) const {
+  ZS_EXPECTS(variant_ != ZolcVariant::kMicro && idx < cap_.max_loops);
+  return loops_[idx];
+}
+
+const ExitRecord& ZolcController::exit_record(unsigned idx) const {
+  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < kFullExitRecords);
+  return exits_[idx];
+}
+
+const EntryRecord& ZolcController::entry_record(unsigned idx) const {
+  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < kFullEntryRecords);
+  return entries_[idx];
+}
+
+void ZolcController::reset() {
+  tasks_ = {};
+  task_start_ = {};
+  loops_ = {};
+  exits_ = {};
+  entries_ = {};
+  micro_ = {};
+  base_ = 0;
+  current_task_ = 0;
+  active_ = false;
+  stats_ = {};
+}
+
+void ZolcController::init_write(Opcode op, std::uint8_t idx,
+                                std::uint32_t value) {
+  if (active_) {
+    throw SimError("ZOLC table write while the controller is active");
+  }
+  ++stats_.table_writes;
+  switch (op) {
+    case Opcode::kZolwTe:
+      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_tasks) {
+        throw SimError("zolw.te: no task entry " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      tasks_[idx] = TaskEntry::unpack(value);
+      break;
+    case Opcode::kZolwTs:
+      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_tasks) {
+        throw SimError("zolw.ts: no task entry " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      task_start_[idx] = static_cast<std::uint16_t>(value & 0xFFFFu);
+      break;
+    case Opcode::kZolwLp0:
+    case Opcode::kZolwLp1:
+      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_loops) {
+        throw SimError("zolw.lp: no loop entry " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      if (op == Opcode::kZolwLp0) loops_[idx].unpack_word0(value);
+      else loops_[idx].unpack_word1(value);
+      break;
+    case Opcode::kZolwEx0:
+    case Opcode::kZolwEx1:
+      if (variant_ != ZolcVariant::kFull || idx >= kFullExitRecords) {
+        throw SimError("zolw.ex: no exit record " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      if (op == Opcode::kZolwEx0) exits_[idx].unpack_lo(value);
+      else exits_[idx].unpack_hi(value);
+      break;
+    case Opcode::kZolwEn0:
+    case Opcode::kZolwEn1:
+      if (variant_ != ZolcVariant::kFull || idx >= kFullEntryRecords) {
+        throw SimError("zolw.en: no entry record " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      if (op == Opcode::kZolwEn0) entries_[idx].unpack_lo(value);
+      else entries_[idx].unpack_hi(value);
+      break;
+    case Opcode::kZolwU: {
+      if (variant_ != ZolcVariant::kMicro || idx >= kMicroRegCount) {
+        throw SimError("zolw.u: no uZOLC register " + std::to_string(idx) +
+                       " on " + std::string(variant_name(variant_)));
+      }
+      const auto sv = static_cast<std::int32_t>(value);
+      switch (static_cast<MicroReg>(idx)) {
+        case MicroReg::kInitial: micro_.initial = sv; break;
+        case MicroReg::kFinal:   micro_.final = sv; break;
+        case MicroReg::kStep:    micro_.step = sv; break;
+        case MicroReg::kCurrent: micro_.current = sv; break;
+        case MicroReg::kStartPc: micro_.start_pc = value; break;
+        case MicroReg::kEndPc:   micro_.end_pc = value; break;
+        case MicroReg::kCtrl:
+          micro_.index_rf = static_cast<std::uint8_t>(extract_bits(value, 0, 5));
+          micro_.cond = static_cast<LoopCond>(extract_bits(value, 5, 2));
+          break;
+        case MicroReg::kCount:
+        case MicroReg::kStatus:
+          break;  // reserved, accepted and ignored
+      }
+      break;
+    }
+    default:
+      throw SimError("not a ZOLC table-write opcode");
+  }
+}
+
+void ZolcController::activate(std::uint8_t start_task, std::uint32_t base) {
+  if (active_) {
+    throw SimError("zolon while the controller is already active");
+  }
+  if (variant_ == ZolcVariant::kMicro) {
+    micro_.current = micro_.initial;
+    active_ = true;
+    return;
+  }
+  if (start_task >= cap_.max_tasks) {
+    throw SimError("zolon: start task " + std::to_string(start_task) +
+                   " out of range");
+  }
+  if (!is_aligned(base, 4)) {
+    throw SimError("zolon: base address " + hex32(base) +
+                   " is not word-aligned");
+  }
+  base_ = base;
+  current_task_ = start_task;
+  for (LoopEntry& loop : loops_) {
+    if (loop.valid) loop.current = loop.initial;
+  }
+  active_ = true;
+}
+
+void ZolcController::deactivate() { active_ = false; }
+
+bool ZolcController::pc_to_ofs(std::uint32_t pc, std::uint16_t& ofs) const {
+  if (pc < base_) return false;
+  const std::uint32_t delta = (pc - base_) >> 2;
+  if (delta > 0xFFFFu) return false;
+  ofs = static_cast<std::uint16_t>(delta);
+  return true;
+}
+
+std::uint32_t ZolcController::ofs_to_pc(std::uint16_t ofs) const noexcept {
+  return base_ + (static_cast<std::uint32_t>(ofs) << 2);
+}
+
+bool ZolcController::will_trigger(std::uint32_t pc) const {
+  if (!active_) return false;
+  if (variant_ == ZolcVariant::kMicro) return pc == micro_.end_pc;
+  std::uint16_t ofs = 0;
+  if (!pc_to_ofs(pc, ofs)) return false;
+  const TaskEntry& t = tasks_[current_task_];
+  return t.valid && t.end_pc_ofs == ofs;
+}
+
+std::optional<AccelEvent> ZolcController::on_fetch(std::uint32_t pc) {
+  if (!will_trigger(pc)) return std::nullopt;
+
+  AccelEvent ev;
+  if (variant_ == ZolcVariant::kMicro) {
+    const std::int32_t next = micro_.current + micro_.step;
+    if (cond_holds(micro_.cond, next, micro_.final)) {
+      micro_.current = next;
+      ev.rf_writes.push_back(RfWrite{micro_.index_rf, next});
+      ev.redirect = micro_.start_pc;
+      ++stats_.continue_events;
+    } else {
+      // Reinit-on-exit: the controller stays armed so an enclosing software
+      // loop can re-enter the region with no reprogramming.
+      micro_.current = micro_.initial;
+      ev.rf_writes.push_back(RfWrite{micro_.index_rf, micro_.initial});
+      ++stats_.done_events;
+    }
+    return ev;
+  }
+
+  std::uint16_t ofs = 0;
+  ZS_ASSERT(pc_to_ofs(pc, ofs));
+  unsigned depth = 0;
+  while (active_) {
+    const TaskEntry& t = tasks_[current_task_];
+    if (!t.valid || t.end_pc_ofs != ofs) break;
+    if (++depth > cap_.max_loops) {
+      throw SimError("ZOLC cascade exceeded hardware depth at " + hex32(pc));
+    }
+    LoopEntry& loop = loops_[t.loop_id];
+    if (!loop.valid) {
+      throw SimError("task " + std::to_string(current_task_) +
+                     " references invalid loop " + std::to_string(t.loop_id));
+    }
+    const std::int32_t next = loop.current + loop.step;
+    if (cond_holds(loop.cond, next, loop.final)) {
+      // Loop back-edge: zero-overhead task switch to the body start.
+      loop.current = next;
+      ev.rf_writes.push_back(RfWrite{loop.index_rf, next});
+      current_task_ = t.next_task_cont;
+      ev.redirect = ofs_to_pc(task_start_[t.next_task_cont]);
+      ++stats_.continue_events;
+      break;
+    }
+    // Loop completion: reinit-on-exit, then hand over to the done successor
+    // (which may share this end_pc -- the combinational cascade).
+    loop.current = loop.initial;
+    ev.rf_writes.push_back(RfWrite{loop.index_rf, loop.initial});
+    ++stats_.done_events;
+    if (t.is_last) {
+      active_ = false;
+      ev.redirect.reset();  // fall through to the code after the region
+      break;
+    }
+    current_task_ = t.next_task_done;
+    ev.redirect = ofs_to_pc(task_start_[t.next_task_done]);
+  }
+  if (depth > 1) {
+    ++stats_.cascade_chains;
+    stats_.max_cascade_depth = std::max<std::uint64_t>(stats_.max_cascade_depth,
+                                                       depth);
+  }
+  return ev;
+}
+
+void ZolcController::apply_reinit_mask(std::uint8_t mask, AccelEvent& ev) {
+  for (unsigned i = 0; i < cap_.max_loops; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    LoopEntry& loop = loops_[i];
+    if (!loop.valid) {
+      throw SimError("reinit mask references invalid loop " +
+                     std::to_string(i));
+    }
+    loop.current = loop.initial;
+    ev.rf_writes.push_back(RfWrite{loop.index_rf, loop.initial});
+  }
+}
+
+std::optional<AccelEvent> ZolcController::on_taken_control(
+    std::uint32_t pc, std::uint32_t target) {
+  if (!active_ || variant_ != ZolcVariant::kFull) return std::nullopt;
+
+  AccelEvent ev;
+  bool matched = false;
+
+  // Candidate exits, scoped to the current task's controlling loop (the
+  // hardware compares only that loop's 4 records).
+  const TaskEntry& t = tasks_[current_task_];
+  std::uint16_t ofs = 0;
+  if (t.valid && pc_to_ofs(pc, ofs)) {
+    const unsigned bank = t.loop_id * cap_.max_exits_per_loop;
+    for (unsigned slot = 0; slot < cap_.max_exits_per_loop; ++slot) {
+      const ExitRecord& r = exits_[bank + slot];
+      if (!r.valid || r.branch_pc_ofs != ofs) continue;
+      matched = true;
+      ++stats_.exit_matches;
+      apply_reinit_mask(r.reinit_mask, ev);
+      current_task_ = r.next_task;
+      if (r.deactivate) active_ = false;
+      break;
+    }
+  }
+
+  // Multi-entry records, matched on the transfer target.
+  std::uint16_t tofs = 0;
+  if (active_ && pc_to_ofs(target, tofs)) {
+    for (const EntryRecord& r : entries_) {
+      if (!r.valid || r.entry_pc_ofs != tofs) continue;
+      matched = true;
+      ++stats_.entry_matches;
+      apply_reinit_mask(r.reinit_mask, ev);
+      current_task_ = r.next_task;
+      break;
+    }
+  }
+
+  if (!matched) return std::nullopt;
+  return ev;
+}
+
+cpu::AccelSnapshot ZolcController::snapshot() const {
+  cpu::AccelSnapshot s;
+  for (unsigned i = 0; i < loops_.size(); ++i) {
+    s.loop_current[i] = loops_[i].current;
+  }
+  s.micro_current = micro_.current;
+  s.current_task = current_task_;
+  s.active = active_;
+  return s;
+}
+
+void ZolcController::restore(const cpu::AccelSnapshot& snapshot) {
+  for (unsigned i = 0; i < loops_.size(); ++i) {
+    loops_[i].current = snapshot.loop_current[i];
+  }
+  micro_.current = snapshot.micro_current;
+  current_task_ = snapshot.current_task;
+  active_ = snapshot.active;
+}
+
+std::string ZolcController::describe() const {
+  std::ostringstream os;
+  os << "ZOLC variant: " << variant_name(variant_)
+     << (active_ ? " [active, task " + std::to_string(current_task_) + "]"
+                 : " [inactive]")
+     << '\n';
+  if (variant_ == ZolcVariant::kMicro) {
+    os << "  loop: initial=" << micro_.initial << " final=" << micro_.final
+       << " step=" << micro_.step << " current=" << micro_.current
+       << " index_rf=" << isa::reg_name(micro_.index_rf)
+       << " start=" << hex32(micro_.start_pc) << " end=" << hex32(micro_.end_pc)
+       << '\n';
+    return os.str();
+  }
+  os << "  base: " << hex32(base_) << '\n';
+  for (unsigned i = 0; i < cap_.max_tasks; ++i) {
+    const TaskEntry& t = tasks_[i];
+    if (!t.valid) continue;
+    os << "  task " << i << ": start_ofs=" << task_start_[i]
+       << " end_ofs=" << t.end_pc_ofs << " loop=" << unsigned(t.loop_id)
+       << " cont->" << unsigned(t.next_task_cont) << " done->"
+       << unsigned(t.next_task_done) << (t.is_last ? " [last]" : "") << '\n';
+  }
+  for (unsigned i = 0; i < cap_.max_loops; ++i) {
+    const LoopEntry& l = loops_[i];
+    if (!l.valid) continue;
+    os << "  loop " << i << ": init=" << l.initial << " final=" << l.final
+       << " step=" << int(l.step) << " index_rf=" << isa::reg_name(l.index_rf)
+       << " cond=" << unsigned(static_cast<std::uint8_t>(l.cond))
+       << " current=" << l.current << '\n';
+  }
+  if (variant_ == ZolcVariant::kFull) {
+    for (unsigned i = 0; i < kFullExitRecords; ++i) {
+      const ExitRecord& r = exits_[i];
+      if (!r.valid) continue;
+      os << "  exit[" << i / cap_.max_exits_per_loop << '.'
+         << i % cap_.max_exits_per_loop << "]: branch_ofs=" << r.branch_pc_ofs
+         << " next_task=" << unsigned(r.next_task) << " reinit=0x" << std::hex
+         << unsigned(r.reinit_mask) << std::dec
+         << (r.deactivate ? " [deactivate]" : "") << '\n';
+    }
+    for (unsigned i = 0; i < kFullEntryRecords; ++i) {
+      const EntryRecord& r = entries_[i];
+      if (!r.valid) continue;
+      os << "  entry[" << i / cap_.max_entries_per_loop << '.'
+         << i % cap_.max_entries_per_loop << "]: entry_ofs=" << r.entry_pc_ofs
+         << " next_task=" << unsigned(r.next_task) << " reinit=0x" << std::hex
+         << unsigned(r.reinit_mask) << std::dec << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace zolcsim::zolc

@@ -1,0 +1,119 @@
+// ZolcController: architectural model of the zero-overhead loop controller,
+// implementing the cpu::LoopAccelerator interface. One class models all
+// three hardware variants (capacities differ; uZOLC additionally bypasses
+// the task machinery entirely and uses its private register file).
+//
+// Event semantics (DESIGN.md 4.2):
+//  * task end     -- fetch PC matches the current task's end_pc: update the
+//                    controlling loop's index, pick the continue/done
+//                    successor, redirect fetch; `done` re-initializes the
+//                    index (reinit-on-exit) so any later re-entry finds it
+//                    ready; `done` at an is_last task deactivates.
+//  * cascade      -- done-successor tasks sharing the same end_pc resolve
+//                    combinationally in the same event (perfect-nest shared
+//                    boundaries cost zero cycles).
+//  * taken branch -- ZOLCfull matches candidate exit records (scoped to the
+//                    current task's loop) and entry records; a match switches
+//                    tasks and re-initializes the loops in the record's mask.
+#ifndef ZOLCSIM_ZOLC_CONTROLLER_HPP
+#define ZOLCSIM_ZOLC_CONTROLLER_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cpu/accel.hpp"
+#include "zolc/config.hpp"
+#include "zolc/tables.hpp"
+
+namespace zolcsim::zolc {
+
+/// Event counters exposed for tests and the benchmark harness.
+struct ZolcStats {
+  std::uint64_t continue_events = 0;  ///< hardware loop back-edges taken
+  std::uint64_t done_events = 0;      ///< loop completions (incl. cascades)
+  std::uint64_t cascade_chains = 0;   ///< events that resolved >1 boundary
+  std::uint64_t max_cascade_depth = 0;
+  std::uint64_t exit_matches = 0;     ///< candidate-exit record hits
+  std::uint64_t entry_matches = 0;    ///< entry record hits
+  std::uint64_t table_writes = 0;     ///< init-mode writes accepted
+};
+
+class ZolcController final : public cpu::LoopAccelerator {
+ public:
+  explicit ZolcController(ZolcVariant variant);
+
+  [[nodiscard]] ZolcVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint8_t current_task() const noexcept {
+    return current_task_;
+  }
+  [[nodiscard]] const ZolcStats& zolc_stats() const noexcept { return stats_; }
+
+  /// Direct table access for tests and the loop-structure explorer example.
+  [[nodiscard]] const TaskEntry& task(unsigned idx) const;
+  [[nodiscard]] std::uint16_t task_start(unsigned idx) const;
+  [[nodiscard]] const LoopEntry& loop(unsigned idx) const;
+  [[nodiscard]] const ExitRecord& exit_record(unsigned idx) const;
+  [[nodiscard]] const EntryRecord& entry_record(unsigned idx) const;
+
+  /// Human-readable dump of the programmed tables.
+  [[nodiscard]] std::string describe() const;
+
+  /// Clears all tables and state back to power-on.
+  void reset();
+
+  // ---- cpu::LoopAccelerator ----
+  void init_write(isa::Opcode op, std::uint8_t idx,
+                  std::uint32_t value) override;
+  void activate(std::uint8_t start_task, std::uint32_t base) override;
+  void deactivate() override;
+  [[nodiscard]] bool will_trigger(std::uint32_t pc) const override;
+  std::optional<cpu::AccelEvent> on_fetch(std::uint32_t pc) override;
+  std::optional<cpu::AccelEvent> on_taken_control(std::uint32_t pc,
+                                                  std::uint32_t target) override;
+  [[nodiscard]] cpu::AccelSnapshot snapshot() const override;
+  void restore(const cpu::AccelSnapshot& snapshot) override;
+
+ private:
+  /// Maps a byte PC to a 16-bit word offset from the activation base;
+  /// returns false when the PC lies outside the addressable window.
+  [[nodiscard]] bool pc_to_ofs(std::uint32_t pc, std::uint16_t& ofs) const;
+  [[nodiscard]] std::uint32_t ofs_to_pc(std::uint16_t ofs) const noexcept;
+
+  /// Re-initializes every loop in `mask`, appending RF write-backs to `ev`.
+  void apply_reinit_mask(std::uint8_t mask, cpu::AccelEvent& ev);
+
+  ZolcVariant variant_;
+  ZolcCapacity cap_;
+
+  // ZOLClite / ZOLCfull storage.
+  std::array<TaskEntry, 32> tasks_{};
+  std::array<std::uint16_t, 32> task_start_{};
+  std::array<LoopEntry, 8> loops_{};
+  std::array<ExitRecord, kFullExitRecords> exits_{};
+  std::array<EntryRecord, kFullEntryRecords> entries_{};
+  std::uint32_t base_ = 0;
+
+  // uZOLC storage (six 32-bit + control registers).
+  struct MicroState {
+    std::int32_t initial = 0;
+    std::int32_t final = 0;
+    std::int32_t step = 0;
+    std::int32_t current = 0;
+    std::uint32_t start_pc = 0;
+    std::uint32_t end_pc = 0;
+    std::uint8_t index_rf = 0;
+    LoopCond cond = LoopCond::kLt;
+  };
+  MicroState micro_;
+
+  std::uint8_t current_task_ = 0;
+  bool active_ = false;
+
+  ZolcStats stats_;
+};
+
+}  // namespace zolcsim::zolc
+
+#endif  // ZOLCSIM_ZOLC_CONTROLLER_HPP

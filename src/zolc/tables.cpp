@@ -1,0 +1,95 @@
+#include "zolc/tables.hpp"
+
+#include "common/bitutil.hpp"
+
+namespace zolcsim::zolc {
+
+std::uint32_t TaskEntry::pack() const noexcept {
+  std::uint32_t w = 0;
+  w |= end_pc_ofs;
+  w |= static_cast<std::uint32_t>(loop_id & 0x7u) << 16;
+  w |= static_cast<std::uint32_t>(next_task_cont & 0x1Fu) << 19;
+  w |= static_cast<std::uint32_t>(next_task_done & 0x1Fu) << 24;
+  w |= static_cast<std::uint32_t>(is_last ? 1u : 0u) << 29;
+  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 30;
+  return w;
+}
+
+TaskEntry TaskEntry::unpack(std::uint32_t word) noexcept {
+  TaskEntry e;
+  e.end_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
+  e.loop_id = static_cast<std::uint8_t>(extract_bits(word, 16, 3));
+  e.next_task_cont = static_cast<std::uint8_t>(extract_bits(word, 19, 5));
+  e.next_task_done = static_cast<std::uint8_t>(extract_bits(word, 24, 5));
+  e.is_last = extract_bits(word, 29, 1) != 0;
+  e.valid = extract_bits(word, 30, 1) != 0;
+  return e;
+}
+
+std::uint32_t LoopEntry::pack_word0() const noexcept {
+  return (static_cast<std::uint32_t>(static_cast<std::uint16_t>(initial))) |
+         (static_cast<std::uint32_t>(static_cast<std::uint16_t>(final)) << 16);
+}
+
+std::uint32_t LoopEntry::pack_word1() const noexcept {
+  std::uint32_t w = 0;
+  w |= static_cast<std::uint8_t>(step);
+  w |= static_cast<std::uint32_t>(index_rf & 0x1Fu) << 8;
+  w |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(cond) & 0x3u) << 13;
+  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 15;
+  return w;
+}
+
+void LoopEntry::unpack_word0(std::uint32_t word) noexcept {
+  initial = static_cast<std::int16_t>(extract_bits(word, 0, 16));
+  final = static_cast<std::int16_t>(extract_bits(word, 16, 16));
+}
+
+void LoopEntry::unpack_word1(std::uint32_t word) noexcept {
+  step = static_cast<std::int8_t>(extract_bits(word, 0, 8));
+  index_rf = static_cast<std::uint8_t>(extract_bits(word, 8, 5));
+  cond = static_cast<LoopCond>(extract_bits(word, 13, 2));
+  valid = extract_bits(word, 15, 1) != 0;
+}
+
+std::uint32_t ExitRecord::pack_lo() const noexcept {
+  std::uint32_t w = 0;
+  w |= branch_pc_ofs;
+  w |= static_cast<std::uint32_t>(next_task & 0x1Fu) << 16;
+  w |= static_cast<std::uint32_t>(reinit_mask) << 21;
+  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 29;
+  w |= static_cast<std::uint32_t>(deactivate ? 1u : 0u) << 30;
+  return w;
+}
+
+void ExitRecord::unpack_lo(std::uint32_t word) noexcept {
+  branch_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
+  next_task = static_cast<std::uint8_t>(extract_bits(word, 16, 5));
+  reinit_mask = static_cast<std::uint8_t>(extract_bits(word, 21, 8));
+  valid = extract_bits(word, 29, 1) != 0;
+  deactivate = extract_bits(word, 30, 1) != 0;
+}
+
+std::uint32_t EntryRecord::pack_lo() const noexcept {
+  std::uint32_t w = 0;
+  w |= entry_pc_ofs;
+  w |= static_cast<std::uint32_t>(next_task & 0x1Fu) << 16;
+  w |= static_cast<std::uint32_t>(reinit_mask) << 21;
+  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 29;
+  return w;
+}
+
+void EntryRecord::unpack_lo(std::uint32_t word) noexcept {
+  entry_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
+  next_task = static_cast<std::uint8_t>(extract_bits(word, 16, 5));
+  reinit_mask = static_cast<std::uint8_t>(extract_bits(word, 21, 8));
+  valid = extract_bits(word, 29, 1) != 0;
+}
+
+std::uint32_t pack_micro_ctrl(std::uint8_t index_rf, LoopCond cond) noexcept {
+  return static_cast<std::uint32_t>(index_rf & 0x1Fu) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(cond) & 0x3u)
+          << 5);
+}
+
+}  // namespace zolcsim::zolc

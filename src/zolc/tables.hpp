@@ -1,0 +1,133 @@
+// Bit-accurate ZOLC storage formats. These pack/unpack routines are the
+// single source of truth shared by the controller (decoding init-mode
+// writes) and the code generator (emitting init sequences), so the two can
+// never disagree on a field layout. Field geometry matches DESIGN.md 4.1 and
+// reproduces the paper's storage byte counts exactly.
+#ifndef ZOLCSIM_ZOLC_TABLES_HPP
+#define ZOLCSIM_ZOLC_TABLES_HPP
+
+#include <cstdint>
+
+namespace zolcsim::zolc {
+
+/// Loop-continuation condition: after the index update, the loop continues
+/// iff `cond_holds(cond, next_index, final)`.
+enum class LoopCond : std::uint8_t { kLt = 0, kLe = 1, kGt = 2, kGe = 3 };
+
+[[nodiscard]] constexpr bool cond_holds(LoopCond cond, std::int32_t next,
+                                        std::int32_t final) noexcept {
+  switch (cond) {
+    case LoopCond::kLt: return next < final;
+    case LoopCond::kLe: return next <= final;
+    case LoopCond::kGt: return next > final;
+    case LoopCond::kGe: return next >= final;
+  }
+  return false;
+}
+
+/// Task selection LUT entry (32 bits):
+///   [15:0]  end_pc_ofs   word offset (from the activation base) of the last
+///                        instruction of the task
+///   [18:16] loop_id      loop tested at this boundary
+///   [23:19] next_task_cont  task entered when the loop continues
+///   [28:24] next_task_done  task entered when the loop completes
+///   [29]    is_last      completing here leaves the outermost region
+///   [30]    valid
+///   [31]    reserved
+struct TaskEntry {
+  std::uint16_t end_pc_ofs = 0;
+  std::uint8_t loop_id = 0;
+  std::uint8_t next_task_cont = 0;
+  std::uint8_t next_task_done = 0;
+  bool is_last = false;
+  bool valid = false;
+
+  [[nodiscard]] std::uint32_t pack() const noexcept;
+  [[nodiscard]] static TaskEntry unpack(std::uint32_t word) noexcept;
+
+  friend bool operator==(const TaskEntry&, const TaskEntry&) = default;
+};
+
+/// Loop parameter table entry (64 bits = two init words):
+///   word0: [15:0] initial (signed), [31:16] final (signed)
+///   word1: [7:0]  step (signed), [12:8] index_rf, [14:13] cond, [15] valid,
+///          [31:16] reserved (the live index copy occupies these bits in
+///          hardware; it is runtime state, not init-written)
+struct LoopEntry {
+  std::int16_t initial = 0;
+  std::int16_t final = 0;
+  std::int8_t step = 0;
+  std::uint8_t index_rf = 0;
+  LoopCond cond = LoopCond::kLt;
+  bool valid = false;
+  /// Runtime state: live index value (mirrors the RF index register).
+  std::int32_t current = 0;
+
+  [[nodiscard]] std::uint32_t pack_word0() const noexcept;
+  [[nodiscard]] std::uint32_t pack_word1() const noexcept;
+  void unpack_word0(std::uint32_t word) noexcept;
+  void unpack_word1(std::uint32_t word) noexcept;
+
+  friend bool operator==(const LoopEntry&, const LoopEntry&) = default;
+};
+
+/// Candidate-exit record, ZOLCfull only (48 bits = 32 + 16):
+///   lo: [15:0] branch_pc_ofs, [20:16] next_task, [28:21] reinit_mask,
+///       [29] valid, [31:30] kind (bit0: deactivate, leaves the region)
+///   hi: [15:0] reserved
+struct ExitRecord {
+  std::uint16_t branch_pc_ofs = 0;
+  std::uint8_t next_task = 0;
+  std::uint8_t reinit_mask = 0;
+  bool valid = false;
+  bool deactivate = false;
+
+  [[nodiscard]] std::uint32_t pack_lo() const noexcept;
+  [[nodiscard]] std::uint32_t pack_hi() const noexcept { return 0; }
+  void unpack_lo(std::uint32_t word) noexcept;
+  void unpack_hi(std::uint32_t /*word*/) noexcept {}
+
+  friend bool operator==(const ExitRecord&, const ExitRecord&) = default;
+};
+
+/// Multi-entry record, ZOLCfull only (48 bits = 32 + 16):
+///   lo: [15:0] entry_pc_ofs, [20:16] next_task, [28:21] reinit_mask,
+///       [29] valid
+///   hi: [15:0] reserved
+struct EntryRecord {
+  std::uint16_t entry_pc_ofs = 0;
+  std::uint8_t next_task = 0;
+  std::uint8_t reinit_mask = 0;
+  bool valid = false;
+
+  [[nodiscard]] std::uint32_t pack_lo() const noexcept;
+  [[nodiscard]] std::uint32_t pack_hi() const noexcept { return 0; }
+  void unpack_lo(std::uint32_t word) noexcept;
+  void unpack_hi(std::uint32_t /*word*/) noexcept {}
+
+  friend bool operator==(const EntryRecord&, const EntryRecord&) = default;
+};
+
+/// uZOLC register file indices for zolw.u (six 32-bit data registers plus
+/// three 16-bit control registers; DESIGN.md 4.1).
+enum class MicroReg : std::uint8_t {
+  kInitial = 0,
+  kFinal = 1,
+  kStep = 2,
+  kCurrent = 3,
+  kStartPc = 4,
+  kEndPc = 5,
+  kCtrl = 6,   ///< [4:0] index_rf, [6:5] cond
+  kCount = 7,  ///< reserved
+  kStatus = 8, ///< reserved
+};
+
+inline constexpr unsigned kMicroRegCount = 9;
+
+/// Packs the uZOLC control register payload.
+[[nodiscard]] std::uint32_t pack_micro_ctrl(std::uint8_t index_rf,
+                                            LoopCond cond) noexcept;
+
+}  // namespace zolcsim::zolc
+
+#endif  // ZOLCSIM_ZOLC_TABLES_HPP

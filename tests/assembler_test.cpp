@@ -1,0 +1,261 @@
+// Assembler: syntax, directives, symbols, error reporting, disassembler
+// round trips, and an end-to-end assembled ZOLC program on the pipeline.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+
+#include "isa/build.hpp"
+#include "cpu/pipeline.hpp"
+#include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
+#include "zolc/controller.hpp"
+
+namespace zolcsim::assembler {
+namespace {
+
+AsmProgram must_assemble(std::string_view source) {
+  auto result = assemble(source);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().to_string());
+  return std::move(result).value();
+}
+
+std::string first_error(std::string_view source) {
+  auto result = assemble(source);
+  EXPECT_FALSE(result.ok());
+  return result.ok() ? "" : result.error().to_string();
+}
+
+TEST(Assembler, BasicInstructions) {
+  const auto prog = must_assemble(R"(
+    addi $t0, $zero, 5
+    add  $t1, $t0, $t0
+    halt
+  )");
+  ASSERT_EQ(prog.word_count(), 3u);
+  EXPECT_EQ(prog.entry, 0x1000u);
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[0]),
+            isa::build::addi(8, 0, 5));
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[1]),
+            isa::build::add(9, 8, 8));
+}
+
+TEST(Assembler, RegisterNameForms) {
+  const auto prog = must_assemble("add $3, r4, $a1\nhalt\n");
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[0]), isa::build::add(3, 4, 5));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto prog = must_assemble(R"(
+    ; full line comment
+    # another
+    nop      ; trailing
+    halt
+  )");
+  EXPECT_EQ(prog.word_count(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const auto prog = must_assemble(R"(
+    addi $t0, $zero, 3
+  loop:
+    addi $t1, $t1, 1
+    dbne $t0, loop
+    halt
+  )");
+  ASSERT_EQ(prog.word_count(), 4u);
+  const auto dbne = isa::decode(prog.chunks[0].words[2]);
+  EXPECT_EQ(dbne.op, isa::Opcode::kDbne);
+  EXPECT_EQ(dbne.imm, -2);
+  EXPECT_EQ(prog.symbols.at("loop"), 0x1004u);
+}
+
+TEST(Assembler, ForwardReferences) {
+  const auto prog = must_assemble(R"(
+    beq $zero, $zero, end
+    nop
+  end:
+    halt
+  )");
+  const auto beq = isa::decode(prog.chunks[0].words[0]);
+  EXPECT_EQ(beq.imm, 1);
+}
+
+TEST(Assembler, MemoryOperands) {
+  const auto prog = must_assemble(R"(
+    lw $t0, 8($sp)
+    sw $t0, -4($fp)
+    lw $t1, ($t2)
+    halt
+  )");
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[0]), isa::build::lw(8, 8, 29));
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[1]), isa::build::sw(8, -4, 30));
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[2]), isa::build::lw(9, 0, 10));
+}
+
+TEST(Assembler, LiPseudoExpandsToTwoWords) {
+  const auto prog = must_assemble("li $t0, 0xDEADBEEF\nhalt\n");
+  ASSERT_EQ(prog.word_count(), 3u);
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[0]),
+            isa::build::lui(8, 0xDEAD));
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[1]),
+            isa::build::ori(8, 8, 0xBEEF));
+}
+
+TEST(Assembler, DataDirectives) {
+  const auto prog = must_assemble(R"(
+    .data 0x100000
+  table:
+    .word 1, 2, 3
+    .half 0xAAAA, 0xBBBB
+    .byte 1, 2, 3, 4
+    .text
+    halt
+  )");
+  EXPECT_EQ(prog.symbols.at("table"), 0x100000u);
+  mem::Memory memory;
+  prog.load_into(memory);
+  EXPECT_EQ(memory.read32(0x100000), 1u);
+  EXPECT_EQ(memory.read32(0x100008), 3u);
+  EXPECT_EQ(memory.read16(0x10000C), 0xAAAAu);
+  EXPECT_EQ(memory.read8(0x100010), 1u);
+  EXPECT_EQ(memory.read8(0x100013), 4u);
+}
+
+TEST(Assembler, OrgAndAlign) {
+  const auto prog = must_assemble(R"(
+    .text 0x2000
+    nop
+    .org 0x2010
+  target:
+    halt
+  )");
+  EXPECT_EQ(prog.symbols.at("target"), 0x2010u);
+  EXPECT_EQ(prog.entry, 0x2000u);
+}
+
+TEST(Assembler, SymbolsInImmediates) {
+  const auto prog = must_assemble(R"(
+    .data 0x4000
+  buf: .word 0
+    .text
+    li $t0, buf
+    halt
+  )");
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[0]), isa::build::lui(8, 0));
+  EXPECT_EQ(isa::decode(prog.chunks[0].words[1]),
+            isa::build::ori(8, 8, 0x4000));
+}
+
+TEST(AssemblerErrors, ReportLineNumbers) {
+  EXPECT_NE(first_error("addi $t0, $zero\nhalt\n").find("line 1"),
+            std::string::npos);
+  EXPECT_NE(first_error("nop\nbogus $t0\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_NE(first_error("frobnicate $t0\n").find("unknown mnemonic"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_NE(first_error("j nowhere\n").find("undefined symbol"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_NE(first_error("a:\nnop\na:\nhalt\n").find("duplicate label"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, ImmediateRange) {
+  EXPECT_NE(first_error("addi $t0, $zero, 40000\n").find("out of range"),
+            std::string::npos);
+  EXPECT_NE(first_error("sll $t0, $t0, 32\n").find("out of range"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_NE(first_error("add $t0, $bogus, $t1\n").find("bad register"),
+            std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_NE(first_error("add $t0, $t1\n").find("expected 3"),
+            std::string::npos);
+}
+
+TEST(Assembler, RoundTripsWithDisassembler) {
+  const char* source =
+      "add $t0, $t1, $t2\n"
+      "addi $a0, $zero, -7\n"
+      "lw $v0, 16($sp)\n"
+      "mac $at, $v0, $v1\n"
+      "sll $at, $at, 4\n"
+      "zoloff\n"
+      "halt\n";
+  const auto prog = must_assemble(source);
+  std::string rebuilt;
+  std::uint32_t pc = prog.entry;
+  for (const std::uint32_t word : prog.chunks[0].words) {
+    rebuilt += isa::disassemble_word(word, pc) + "\n";
+    pc += 4;
+  }
+  const auto prog2 = must_assemble(rebuilt);
+  EXPECT_EQ(prog.chunks[0].words, prog2.chunks[0].words);
+}
+
+TEST(Assembler, AssembledProgramRunsOnPipeline) {
+  const auto prog = must_assemble(R"(
+    ; sum 1..10 with dbne
+    addi $t0, $zero, 10
+    addi $t1, $zero, 0
+  loop:
+    add  $t1, $t1, $t0
+    dbne $t0, loop
+    halt
+  )");
+  mem::Memory memory;
+  prog.load_into(memory);
+  cpu::Pipeline pipe(memory);
+  pipe.set_pc(prog.entry);
+  pipe.run(1000);
+  EXPECT_EQ(pipe.regs().read(9), 55);
+}
+
+TEST(Assembler, AssembledZolcProgramRunsWithController) {
+  // Hand-written ZOLC init + single hardware loop: acc += 1 ten times.
+  // Loop entry: initial=0 final=10 step=1 index=$t0(r8), cond LT.
+  const auto prog = must_assemble(R"(
+    .text 0x1000
+    addi $t1, $zero, 0        ; acc
+    addi $t0, $zero, 0        ; index
+    li   $t2, 0x000A0000      ; lp0: initial=0, final=10
+    zolw.lp0 0, $t2
+    li   $t2, 0x00008801      ; lp1: step=1, index_rf=8, cond=LT, valid
+    zolw.lp1 0, $t2
+    li   $t2, 0x60000012      ; te0: end_ofs=18, loop 0, cont 0, last, valid
+    zolw.te 0, $t2
+    li   $t2, 17              ; ts0: body start offset
+    zolw.ts 0, $t2
+    li   $t2, 0x1000          ; base
+    zolon 0, $t2
+  body:
+    add $t1, $t1, $zero       ; offset 17
+    addi $t1, $t1, 1          ; offset 18 = task end
+    halt
+  )");
+  mem::Memory memory;
+  prog.load_into(memory);
+  zolc::ZolcController controller(zolc::ZolcVariant::kLite);
+  cpu::Pipeline pipe(memory);
+  pipe.set_accelerator(&controller);
+  pipe.set_pc(prog.entry);
+  pipe.run(1000);
+  EXPECT_EQ(pipe.regs().read(9), 10);
+  EXPECT_EQ(pipe.stats().zolc_fetch_events, 10u);
+  EXPECT_EQ(pipe.stats().control_flush_slots, 0u);
+}
+
+}  // namespace
+}  // namespace zolcsim::assembler

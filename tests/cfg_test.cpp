@@ -1,0 +1,203 @@
+// CFG / dominator / loop-forest analysis, validated both on hand-built
+// control flow and on real lowered kernels.
+#include <gtest/gtest.h>
+
+#include "cfg/cfg.hpp"
+#include "codegen/lower.hpp"
+#include "kernels/kernels.hpp"
+
+namespace zolcsim::cfg {
+namespace {
+
+namespace b = isa::build;
+using isa::Instruction;
+
+constexpr std::uint32_t kBase = 0x1000;
+
+// ---------------- block construction ----------------
+
+TEST(CfgBlocks, StraightLineIsOneBlock) {
+  std::vector<Instruction> code = {b::addi(1, 0, 1), b::addi(2, 0, 2),
+                                   b::halt()};
+  Cfg cfg(code, kBase);
+  ASSERT_EQ(cfg.block_count(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].first, 0u);
+  EXPECT_EQ(cfg.blocks()[0].last, 2u);
+  EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+TEST(CfgBlocks, BranchSplitsBlocks) {
+  // 0: beq -> 3 ; 1: addi ; 2: halt ; 3: halt
+  std::vector<Instruction> code = {b::beq(1, 2, 2), b::addi(1, 0, 1),
+                                   b::halt(), b::halt()};
+  Cfg cfg(code, kBase);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_EQ(cfg.blocks()[0].succs.size(), 2u);  // taken + fallthrough
+  EXPECT_EQ(cfg.block_of(1), 1);
+  EXPECT_EQ(cfg.block_of(3), 2);
+}
+
+TEST(CfgBlocks, BackwardBranchMakesLoop) {
+  // 0: addi ; 1: addi ; 2: bne -> 1 ; 3: halt
+  std::vector<Instruction> code = {b::addi(1, 0, 8), b::addi(2, 2, 1),
+                                   b::bne(1, 2, -2), b::halt()};
+  Cfg cfg(code, kBase);
+  const auto forest = find_loops(cfg);
+  ASSERT_EQ(forest.loops.size(), 1u);
+  EXPECT_EQ(forest.loops[0].depth, 1u);
+  EXPECT_FALSE(forest.loops[0].multi_exit());
+  EXPECT_FALSE(forest.loops[0].multi_entry());
+  EXPECT_FALSE(forest.irreducible);
+}
+
+TEST(CfgBlocks, IndirectJumpHasNoStaticSuccessor) {
+  std::vector<Instruction> code = {b::jr(31), b::halt()};
+  Cfg cfg(code, kBase);
+  EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+}
+
+// ---------------- dominators ----------------
+
+TEST(CfgDominators, DiamondJoins) {
+  // 0: beq->3 ; 1: nop ; 2: j 4 ; 3: nop ; 4: halt  (diamond, join at 4)
+  std::vector<Instruction> code = {
+      b::beq(1, 2, 2),          // block 0 -> B(3) and B(1)
+      b::nop(),                 // block 1
+      b::j(kBase + 4 * 4),      // -> block 3 (join)
+      b::nop(),                 // block 2 (taken side)
+      b::halt(),                // block 3
+  };
+  Cfg cfg(code, kBase);
+  ASSERT_EQ(cfg.block_count(), 4u);
+  EXPECT_TRUE(cfg.dominates(0, 3));
+  EXPECT_FALSE(cfg.dominates(1, 3));
+  EXPECT_FALSE(cfg.dominates(2, 3));
+  EXPECT_EQ(cfg.idom()[3], 0u);
+}
+
+TEST(CfgDominators, EntryDominatesEverything) {
+  std::vector<Instruction> code = {b::beq(1, 2, 1), b::nop(), b::bne(1, 2, -3),
+                                   b::halt()};
+  Cfg cfg(code, kBase);
+  for (unsigned bi = 0; bi < cfg.block_count(); ++bi) {
+    if (cfg.reachable(bi)) {
+      EXPECT_TRUE(cfg.dominates(0, bi));
+    }
+  }
+}
+
+TEST(CfgDominators, UnreachableBlocksAreFlagged) {
+  // 0: j 2 ; 1: nop (dead) ; 2: halt
+  std::vector<Instruction> code = {b::j(kBase + 2 * 4), b::nop(), b::halt()};
+  Cfg cfg(code, kBase);
+  ASSERT_EQ(cfg.block_count(), 3u);
+  EXPECT_FALSE(cfg.reachable(1));
+  EXPECT_TRUE(cfg.reachable(2));
+}
+
+// ---------------- loops from lowered programs ----------------
+
+LoopForest forest_of(std::string_view kernel_name,
+                     codegen::MachineKind machine) {
+  const kernels::Kernel* kernel = kernels::find_kernel(kernel_name);
+  EXPECT_NE(kernel, nullptr);
+  auto prog = codegen::lower(kernel->build({}), machine, kBase);
+  EXPECT_TRUE(prog.ok());
+  Cfg cfg(prog.value().code, kBase);
+  return find_loops(cfg);
+}
+
+TEST(CfgLoops, MatmulDefaultHasTripleNest) {
+  const auto forest = forest_of("matmul", codegen::MachineKind::kXrDefault);
+  EXPECT_EQ(forest.loops.size(), 3u);
+  EXPECT_EQ(forest.max_depth(), 3u);
+  EXPECT_FALSE(forest.irreducible);
+}
+
+TEST(CfgLoops, MeFsbmDefaultHasFourDeepNest) {
+  const auto forest = forest_of("me_fsbm", codegen::MachineKind::kXrDefault);
+  EXPECT_EQ(forest.loops.size(), 4u);
+  EXPECT_EQ(forest.max_depth(), 4u);
+}
+
+TEST(CfgLoops, ZolcLoweringRemovesSoftwareLoops) {
+  // All loops hardware-managed: no back edges remain in the machine code.
+  const auto forest = forest_of("matmul", codegen::MachineKind::kZolcLite);
+  EXPECT_EQ(forest.loops.size(), 0u);
+}
+
+TEST(CfgLoops, LiteKeepsSoftwareLoopForBreakKernels) {
+  // me_tss under lite: the multi-exit candidate loop (and its inner SAD
+  // loops) stay in software.
+  const auto forest = forest_of("me_tss", codegen::MachineKind::kZolcLite);
+  EXPECT_GE(forest.loops.size(), 1u);
+  // Under full, everything is hardware.
+  const auto full = forest_of("me_tss", codegen::MachineKind::kZolcFull);
+  EXPECT_EQ(full.loops.size(), 0u);
+}
+
+TEST(CfgLoops, TssSoftwareLoopIsMultiExit) {
+  const auto forest = forest_of("me_tss", codegen::MachineKind::kXrDefault);
+  bool any_multi_exit = false;
+  for (const auto& loop : forest.loops) {
+    if (loop.multi_exit()) any_multi_exit = true;
+  }
+  EXPECT_TRUE(any_multi_exit)
+      << "the candidate loop has both a normal exit and the break";
+}
+
+// ---------------- multi-entry (irreducible) detection ----------------
+
+TEST(CfgLoops, JumpToLoopMidpointRotatesTheHeader) {
+  // 0: j MID ; LOOP: 1: addi ; MID: 2: addi ; 3: bne -> 1 ; 4: halt
+  // Entering at MID simply makes MID the dominating header: reducible.
+  std::vector<Instruction> code = {
+      b::j(kBase + 2 * 4), b::addi(2, 2, 1), b::addi(3, 3, 1),
+      b::bne(3, 4, -3), b::halt()};
+  Cfg cfg(code, kBase);
+  const auto forest = find_loops(cfg);
+  EXPECT_FALSE(forest.irreducible);
+  ASSERT_EQ(forest.loops.size(), 1u);
+  EXPECT_EQ(forest.loops[0].blocks.size(), 2u);
+}
+
+TEST(CfgLoops, TwoEntryCycleIsIrreducible) {
+  // 0: bne -> B ; A: 1: addi, 2: beq -> exit ; B: 3: addi, 4: bne -> A ;
+  // 5: halt. The A<->B cycle has two outside entries; neither dominates.
+  std::vector<Instruction> code = {
+      b::bne(1, 2, 2),   // 0 -> B (idx 3) or fall through to A
+      b::addi(3, 3, 1),  // A
+      b::beq(4, 5, 2),   // A -> exit (idx 5) or fall through to B
+      b::addi(6, 6, 1),  // B
+      b::bne(7, 8, -4),  // B -> A (idx 1) or fall through to exit
+      b::halt()};
+  Cfg cfg(code, kBase);
+  const auto forest = find_loops(cfg);
+  EXPECT_TRUE(forest.irreducible);
+}
+
+TEST(CfgLoops, BreakMakesMultiExit) {
+  // loop body with a conditional break to the exit:
+  // 0: addi ; 1: beq->4 ; 2: addi ; 3: bne->0 ; 4: halt
+  std::vector<Instruction> code = {b::addi(2, 2, 1), b::beq(2, 5, 2),
+                                   b::addi(3, 3, 1), b::bne(3, 6, -4),
+                                   b::halt()};
+  Cfg cfg(code, kBase);
+  const auto forest = find_loops(cfg);
+  ASSERT_EQ(forest.loops.size(), 1u);
+  EXPECT_TRUE(forest.loops[0].multi_exit());
+}
+
+TEST(CfgDescribe, ReportMentionsStructure) {
+  const kernels::Kernel* kernel = kernels::find_kernel("conv2d");
+  auto prog = codegen::lower(kernel->build({}),
+                             codegen::MachineKind::kXrDefault, kBase);
+  ASSERT_TRUE(prog.ok());
+  Cfg cfg(prog.value().code, kBase);
+  const std::string report = describe_structure(cfg, find_loops(cfg));
+  EXPECT_NE(report.find("loops: 4"), std::string::npos);
+  EXPECT_NE(report.find("max depth: 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zolcsim::cfg

@@ -1,0 +1,399 @@
+// Lowering unit tests: builder structure, validation errors, per-machine
+// loop-overhead code shape, hardware/software selection policy, and
+// cross-machine architectural equivalence on synthetic kernels.
+#include <gtest/gtest.h>
+
+#include "codegen/lower.hpp"
+#include "cpu/iss.hpp"
+#include "cpu/pipeline.hpp"
+#include "zolc/controller.hpp"
+
+namespace zolcsim::codegen {
+namespace {
+
+namespace b = isa::build;
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------- KIR analysis ----------------
+
+TEST(Kir, TripCount) {
+  KFor loop;
+  loop.initial = 0;
+  loop.final = 10;
+  loop.step = 1;
+  EXPECT_EQ(trip_count(loop), 10);
+  loop.step = 3;
+  EXPECT_EQ(trip_count(loop), 4);  // 0,3,6,9
+  loop.initial = 10;
+  loop.final = 0;
+  loop.step = -2;
+  EXPECT_EQ(trip_count(loop), 5);  // 10,8,6,4,2
+  loop.step = 0;
+  EXPECT_EQ(trip_count(loop), -1);
+  loop.step = 1;  // wrong direction
+  EXPECT_EQ(trip_count(loop), -1);
+}
+
+TEST(Kir, InvertBranch) {
+  EXPECT_EQ(invert_branch(Opcode::kBeq), Opcode::kBne);
+  EXPECT_EQ(invert_branch(Opcode::kBlt), Opcode::kBge);
+  EXPECT_EQ(invert_branch(Opcode::kBgeu), Opcode::kBltu);
+  EXPECT_EQ(invert_branch(Opcode::kBlez), Opcode::kBgtz);
+}
+
+TEST(Kir, BuilderNesting) {
+  KernelBuilder kb;
+  kb.li(2, 0);
+  kb.for_count(1, 0, 4, 1, [&] {
+    kb.op(b::addi(2, 2, 1));
+    kb.for_count(3, 0, 2, 1, [&] { kb.op(b::addi(2, 2, 10)); });
+  });
+  const auto nodes = kb.take();
+  ASSERT_EQ(nodes.size(), 2u);
+  const auto& outer = std::get<KFor>(nodes[1]);
+  ASSERT_EQ(outer.body.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<KFor>(outer.body[1]));
+  EXPECT_EQ(count_loops(nodes), 2u);
+  EXPECT_EQ(max_loop_depth(nodes), 2u);
+}
+
+TEST(Kir, BodyRegisterScans) {
+  KernelBuilder kb;
+  kb.for_count(1, 0, 4, 1, [&] {
+    kb.op(b::add(2, 1, 3));  // reads index r1
+    kb.if_cond(Opcode::kBlt, 5, 6, [&] { kb.op(b::addi(7, 7, 1)); });
+  });
+  const auto nodes = kb.take();
+  const auto& loop = std::get<KFor>(nodes[0]);
+  EXPECT_TRUE(body_reads_reg(loop.body, 1));
+  EXPECT_TRUE(body_reads_reg(loop.body, 5));   // if condition
+  EXPECT_FALSE(body_reads_reg(loop.body, 9));
+  EXPECT_TRUE(body_writes_reg(loop.body, 7));
+  EXPECT_FALSE(body_writes_reg(loop.body, 1));
+}
+
+// ---------------- validation ----------------
+
+TEST(LowerValidate, RejectsRawControlFlow) {
+  std::vector<KNode> kernel;
+  kernel.push_back(KOp{b::beq(1, 2, 3)});
+  EXPECT_FALSE(lower(kernel, MachineKind::kXrDefault).ok());
+  kernel.clear();
+  kernel.push_back(KOp{b::halt()});
+  EXPECT_FALSE(lower(kernel, MachineKind::kXrDefault).ok());
+  kernel.clear();
+  kernel.push_back(KOp{b::zoloff()});
+  EXPECT_FALSE(lower(kernel, MachineKind::kXrDefault).ok());
+}
+
+TEST(LowerValidate, RejectsReservedRegisters) {
+  std::vector<KNode> kernel;
+  kernel.push_back(KOp{b::addi(24, 0, 1)});
+  const auto r = lower(kernel, MachineKind::kXrDefault);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("reserved"), std::string::npos);
+}
+
+TEST(LowerValidate, RejectsZeroTripLoop) {
+  KernelBuilder kb;
+  kb.for_count(1, 5, 5, 1, [&] { kb.op(b::nop()); });
+  EXPECT_FALSE(lower(kb.take(), MachineKind::kXrDefault).ok());
+}
+
+TEST(LowerValidate, RejectsIndexWrittenByBody) {
+  KernelBuilder kb;
+  kb.for_count(1, 0, 5, 1, [&] { kb.op(b::addi(1, 1, 1)); });
+  EXPECT_FALSE(lower(kb.take(), MachineKind::kZolcLite).ok());
+}
+
+TEST(LowerValidate, RejectsBreakOutsideLoop) {
+  KernelBuilder kb;
+  kb.op(b::nop());
+  kb.break_if(Opcode::kBeq, 1, 2);
+  EXPECT_FALSE(lower(kb.take(), MachineKind::kXrDefault).ok());
+}
+
+TEST(LowerValidate, RejectsDeepNesting) {
+  KernelBuilder kb;
+  kb.for_count(1, 0, 2, 1, [&] {
+    kb.for_count(2, 0, 2, 1, [&] {
+      kb.for_count(3, 0, 2, 1, [&] {
+        kb.for_count(4, 0, 2, 1, [&] {
+          kb.for_count(5, 0, 2, 1, [&] { kb.op(b::nop()); });
+        });
+      });
+    });
+  });
+  EXPECT_FALSE(lower(kb.take(), MachineKind::kXrDefault).ok());
+}
+
+// ---------------- lowering shape ----------------
+
+std::vector<KNode> simple_sum_kernel(std::int32_t n, bool use_index) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.for_count(1, 0, n, 1, [&] {
+    if (use_index) kb.op(b::add(16, 16, 1));
+    else kb.op(b::addi(16, 16, 1));
+  });
+  return kb.take();
+}
+
+unsigned count_opcode(const Program& prog, Opcode op) {
+  unsigned n = 0;
+  for (const Instruction& instr : prog.code) {
+    if (instr.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(LowerShape, DefaultUsesCompareAndBranch) {
+  const auto prog = lower(simple_sum_kernel(10, false),
+                          MachineKind::kXrDefault);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kBlt), 1u);
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kDbne), 0u);
+  EXPECT_EQ(prog.value().init_instructions, 0u);
+  EXPECT_EQ(prog.value().sw_loop_count, 1u);
+}
+
+TEST(LowerShape, HrdwilUsesDbneAndDropsUnusedIndex) {
+  const auto prog = lower(simple_sum_kernel(10, false),
+                          MachineKind::kXrHrdwil);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kDbne), 1u);
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kBlt), 0u);
+  // The index register r1 is never materialized: nothing reads it.
+  for (const Instruction& instr : prog.value().code) {
+    const auto dest = isa::dest_reg(instr);
+    EXPECT_FALSE(dest.has_value() && *dest == 1)
+        << "unused index should not be maintained";
+  }
+}
+
+TEST(LowerShape, HrdwilMaintainsIndexWhenRead) {
+  const auto prog = lower(simple_sum_kernel(10, true),
+                          MachineKind::kXrHrdwil);
+  ASSERT_TRUE(prog.ok());
+  bool writes_index = false;
+  for (const Instruction& instr : prog.value().code) {
+    const auto dest = isa::dest_reg(instr);
+    if (dest.has_value() && *dest == 1) writes_index = true;
+  }
+  EXPECT_TRUE(writes_index);
+}
+
+TEST(LowerShape, ZolcLiteHasNoLoopOverheadInstructions) {
+  const auto prog = lower(simple_sum_kernel(10, true), MachineKind::kZolcLite);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kBlt), 0u);
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kDbne), 0u);
+  EXPECT_GT(prog.value().init_instructions, 0u);
+  EXPECT_EQ(prog.value().hw_loop_count, 1u);
+  EXPECT_GE(count_opcode(prog.value(), Opcode::kZolwTe), 1u);
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kZolOn), 1u);
+}
+
+TEST(LowerShape, InitLengthMatchesReportedField) {
+  const auto prog = lower(simple_sum_kernel(10, true), MachineKind::kZolcLite);
+  ASSERT_TRUE(prog.ok());
+  // The first init_instructions words are the init sequence; the next word
+  // begins the kernel body.
+  unsigned zolc_count = 0;
+  for (unsigned i = 0; i < prog.value().init_instructions; ++i) {
+    if (isa::opcode_info(prog.value().code[i].op).is_zolc) ++zolc_count;
+  }
+  EXPECT_GE(zolc_count, 5u);  // lp0, lp1, te, ts, zolon at minimum
+  for (unsigned i = prog.value().init_instructions;
+       i < prog.value().code.size(); ++i) {
+    EXPECT_FALSE(isa::opcode_info(prog.value().code[i].op).is_zolc);
+  }
+}
+
+// ---------------- hardware/software selection policy ----------------
+
+std::vector<KNode> breaky_nest_kernel() {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.for_count(1, 0, 4, 1, [&] {      // outer: break-free
+    kb.for_count(2, 0, 8, 1, [&] {    // inner: has a break
+      kb.op(b::addi(16, 16, 1));
+      kb.break_if(Opcode::kBge, 16, 20);
+      kb.op(b::addi(16, 16, 0));
+    });
+  });
+  return kb.take();
+}
+
+TEST(LowerPolicy, LiteDemotesBreakLoopsFullKeepsThem) {
+  const auto lite = lower(breaky_nest_kernel(), MachineKind::kZolcLite);
+  ASSERT_TRUE(lite.ok());
+  EXPECT_EQ(lite.value().hw_loop_count, 1u);  // outer only
+  EXPECT_EQ(lite.value().sw_loop_count, 1u);
+  EXPECT_EQ(count_opcode(lite.value(), Opcode::kZolwEx0), 0u);
+
+  const auto full = lower(breaky_nest_kernel(), MachineKind::kZolcFull);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().hw_loop_count, 2u);
+  EXPECT_EQ(count_opcode(full.value(), Opcode::kZolwEx0), 1u);
+}
+
+TEST(LowerPolicy, MicroManagesExactlyOneLoop) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.for_count(1, 0, 4, 1, [&] {
+    kb.for_count(2, 0, 8, 1, [&] { kb.op(b::addi(16, 16, 1)); });
+    kb.op(b::addi(16, 16, 1));
+  });
+  const auto prog = lower(kb.take(), MachineKind::kUZolc);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().hw_loop_count, 1u);
+  EXPECT_EQ(prog.value().sw_loop_count, 1u);
+  EXPECT_EQ(count_opcode(prog.value(), Opcode::kZolwU), 6u);
+}
+
+TEST(LowerPolicy, LoopsUnderConditionalsAreSoftware) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.li(17, 1);
+  kb.for_count(1, 0, 4, 1, [&] {
+    kb.if_cond(Opcode::kBgtz, 17, 0, [&] {
+      kb.for_count(2, 0, 3, 1, [&] { kb.op(b::addi(16, 16, 1)); });
+    });
+    kb.op(b::addi(16, 16, 100));
+  });
+  const auto prog = lower(kb.take(), MachineKind::kZolcFull);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().hw_loop_count, 1u);
+  EXPECT_EQ(prog.value().sw_loop_count, 1u);
+  EXPECT_FALSE(prog.value().notes.empty());
+}
+
+TEST(LowerPolicy, CapacityDemotionKeepsProgramCorrect) {
+  // Nine sequential loops: one more than the 8-loop parameter table.
+  KernelBuilder kb;
+  kb.li(16, 0);
+  for (int i = 0; i < 9; ++i) {
+    kb.for_count(1, 0, 3, 1, [&] { kb.op(b::addi(16, 16, 1)); });
+  }
+  const auto prog = lower(kb.take(), MachineKind::kZolcLite);
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog.value().hw_loop_count, 8u);
+  EXPECT_EQ(prog.value().sw_loop_count, 1u);
+  EXPECT_FALSE(prog.value().notes.empty());
+}
+
+// ---------------- cross-machine architectural equivalence ----------------
+
+struct RunOutcome {
+  cpu::RegFile regs;
+  std::uint64_t cycles = 0;
+};
+
+RunOutcome run_program(const Program& prog) {
+  mem::Memory memory;
+  prog.load_into(memory);
+  std::unique_ptr<zolc::ZolcController> controller;
+  if (const auto variant = machine_zolc_variant(prog.machine)) {
+    controller = std::make_unique<zolc::ZolcController>(*variant);
+  }
+  cpu::Pipeline pipe(memory);
+  pipe.set_accelerator(controller.get());
+  pipe.set_pc(prog.base);
+  pipe.run(10'000'000);
+  return RunOutcome{pipe.regs(), pipe.stats().cycles};
+}
+
+/// The observable result registers must agree across all machines (pool and
+/// scratch registers r24-r27 and r8/r9-equivalents may differ).
+void expect_machines_agree(const std::vector<KNode>& kernel,
+                           std::initializer_list<std::uint8_t> result_regs) {
+  const auto baseline = lower(kernel, MachineKind::kXrDefault);
+  ASSERT_TRUE(baseline.ok());
+  const RunOutcome expected = run_program(baseline.value());
+  for (const MachineKind machine :
+       {MachineKind::kXrHrdwil, MachineKind::kUZolc, MachineKind::kZolcLite,
+        MachineKind::kZolcFull}) {
+    const auto prog = lower(kernel, machine);
+    ASSERT_TRUE(prog.ok()) << machine_name(machine) << ": "
+                           << prog.error().message;
+    const RunOutcome got = run_program(prog.value());
+    for (const std::uint8_t reg : result_regs) {
+      EXPECT_EQ(got.regs.read(reg), expected.regs.read(reg))
+          << machine_name(machine) << " r" << unsigned(reg);
+    }
+  }
+}
+
+TEST(LowerEquivalence, SimpleSum) {
+  expect_machines_agree(simple_sum_kernel(25, true), {16});
+}
+
+TEST(LowerEquivalence, BreakyNest) {
+  expect_machines_agree(breaky_nest_kernel(), {16});
+}
+
+TEST(LowerEquivalence, TripleNestWithPostSegments) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.li(17, 0);
+  kb.for_count(1, 0, 3, 1, [&] {
+    kb.op(b::addi(17, 17, 1));
+    kb.for_count(2, 0, 4, 1, [&] {
+      kb.for_count(3, 0, 5, 1, [&] { kb.op(b::add(16, 16, 3)); });
+      kb.op(b::add(16, 16, 2));
+    });
+    kb.op(b::addi(16, 16, 1000));
+  });
+  expect_machines_agree(kb.take(), {16, 17});
+}
+
+TEST(LowerEquivalence, NegativeStepLoop) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.for_count(1, 10, 0, -2, [&] { kb.op(b::add(16, 16, 1)); });
+  expect_machines_agree(kb.take(), {16});  // 10+8+6+4+2 = 30
+}
+
+TEST(LowerEquivalence, ConditionalUpdateInBody) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.li(17, 5);
+  kb.for_count(1, 0, 12, 1, [&] {
+    kb.if_cond(Opcode::kBlt, 1, 17, [&] { kb.op(b::add(16, 16, 1)); });
+  });
+  expect_machines_agree(kb.take(), {16});  // 0+1+2+3+4 = 10
+}
+
+TEST(LowerEquivalence, SequentialLoopChains) {
+  KernelBuilder kb;
+  kb.li(16, 0);
+  kb.for_count(1, 0, 7, 1, [&] { kb.op(b::addi(16, 16, 1)); });
+  kb.op(b::addi(16, 16, 100));
+  kb.for_count(2, 0, 9, 1, [&] { kb.op(b::addi(16, 16, 1)); });
+  expect_machines_agree(kb.take(), {16});
+}
+
+TEST(LowerEquivalence, ZolcBeatsHrdwilBeatsDefaultOnCounterLoop) {
+  // Pure counter loop (body never reads the index): hrdwil drops the index
+  // update entirely, ZOLC additionally removes the back-edge.
+  const auto kernel = simple_sum_kernel(200, false);
+  const auto d = run_program(lower(kernel, MachineKind::kXrDefault).value());
+  const auto h = run_program(lower(kernel, MachineKind::kXrHrdwil).value());
+  const auto z = run_program(lower(kernel, MachineKind::kZolcLite).value());
+  EXPECT_LT(h.cycles, d.cycles);
+  EXPECT_LT(z.cycles, h.cycles);
+}
+
+TEST(LowerEquivalence, HrdwilMatchesDefaultWhenIndexIsLive) {
+  // With fused compare-and-branch in the base ISA, dbne gains nothing when
+  // the body needs the index value anyway.
+  const auto kernel = simple_sum_kernel(200, true);
+  const auto d = run_program(lower(kernel, MachineKind::kXrDefault).value());
+  const auto h = run_program(lower(kernel, MachineKind::kXrHrdwil).value());
+  EXPECT_EQ(h.cycles, d.cycles);
+}
+
+}  // namespace
+}  // namespace zolcsim::codegen

@@ -1,0 +1,314 @@
+// Functional (ISS) semantics: one test per instruction class, each checking
+// architecturally visible results against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim_test_util.hpp"
+
+namespace zolcsim::cpu {
+namespace {
+
+namespace b = isa::build;
+using isa::Instruction;
+using test::emit_li;
+using test::run_iss;
+
+std::int32_t run_binary_op(Instruction op_instr, std::int32_t a,
+                           std::int32_t b_val, std::uint8_t dest = 3) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, static_cast<std::uint32_t>(a));
+  emit_li(prog, 2, static_cast<std::uint32_t>(b_val));
+  prog.push_back(op_instr);
+  prog.push_back(b::halt());
+  return run_iss(prog).regs.read(dest);
+}
+
+TEST(ExecAlu, AddSubWrapAround) {
+  EXPECT_EQ(run_binary_op(b::add(3, 1, 2), 5, 7), 12);
+  EXPECT_EQ(run_binary_op(b::add(3, 1, 2), INT32_MAX, 1), INT32_MIN);
+  EXPECT_EQ(run_binary_op(b::sub(3, 1, 2), 5, 7), -2);
+  EXPECT_EQ(run_binary_op(b::sub(3, 1, 2), INT32_MIN, 1), INT32_MAX);
+}
+
+TEST(ExecAlu, Bitwise) {
+  EXPECT_EQ(run_binary_op(b::and_(3, 1, 2), 0x0FF0, 0x00FF), 0x00F0);
+  EXPECT_EQ(run_binary_op(b::or_(3, 1, 2), 0x0FF0, 0x00FF), 0x0FFF);
+  EXPECT_EQ(run_binary_op(b::xor_(3, 1, 2), 0x0FF0, 0x00FF), 0x0F0F);
+  EXPECT_EQ(run_binary_op(b::nor_(3, 1, 2), 0, 0), -1);
+}
+
+TEST(ExecAlu, SetLessThan) {
+  EXPECT_EQ(run_binary_op(b::slt(3, 1, 2), -1, 1), 1);
+  EXPECT_EQ(run_binary_op(b::slt(3, 1, 2), 1, -1), 0);
+  EXPECT_EQ(run_binary_op(b::sltu(3, 1, 2), -1, 1), 0);  // 0xFFFFFFFF > 1
+  EXPECT_EQ(run_binary_op(b::sltu(3, 1, 2), 1, -1), 1);
+}
+
+TEST(ExecAlu, ShiftsImmediate) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 2, 0x8000'0001u);
+  prog.push_back(b::sll(3, 2, 1));
+  prog.push_back(b::srl(4, 2, 1));
+  prog.push_back(b::sra(5, 2, 1));
+  prog.push_back(b::sll(6, 2, 0));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read_u(3), 0x0000'0002u);
+  EXPECT_EQ(r.regs.read_u(4), 0x4000'0000u);
+  EXPECT_EQ(r.regs.read_u(5), 0xC000'0000u);
+  EXPECT_EQ(r.regs.read_u(6), 0x8000'0001u);
+}
+
+TEST(ExecAlu, VariableShiftsMaskAmountTo5Bits) {
+  // shift amount 33 & 31 == 1
+  EXPECT_EQ(run_binary_op(b::sllv(3, 1, 2), 33, 1), 2);
+  EXPECT_EQ(run_binary_op(b::srlv(3, 1, 2), 32, 8), 8);  // 32&31==0
+  EXPECT_EQ(run_binary_op(b::srav(3, 1, 2), 1, -4), -2);
+}
+
+TEST(ExecAlu, LuiOriComposition) {
+  std::vector<Instruction> prog;
+  prog.push_back(b::lui(1, 0xDEAD));
+  prog.push_back(b::ori(1, 1, 0xBEEF));
+  prog.push_back(b::halt());
+  EXPECT_EQ(run_iss(prog).regs.read_u(1), 0xDEAD'BEEFu);
+}
+
+TEST(ExecAlu, ImmediateOps) {
+  std::vector<Instruction> prog;
+  prog.push_back(b::addi(1, 0, 100));
+  prog.push_back(b::addi(2, 1, -1));
+  prog.push_back(b::slti(3, 1, 101));
+  prog.push_back(b::sltiu(4, 1, 99));
+  prog.push_back(b::andi(5, 1, 0x6));
+  prog.push_back(b::xori(6, 1, 0xFF));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(1), 100);
+  EXPECT_EQ(r.regs.read(2), 99);
+  EXPECT_EQ(r.regs.read(3), 1);
+  EXPECT_EQ(r.regs.read(4), 0);
+  EXPECT_EQ(r.regs.read(5), 100 & 6);
+  EXPECT_EQ(r.regs.read(6), 100 ^ 0xFF);
+}
+
+TEST(ExecDsp, MultiplyFamily) {
+  EXPECT_EQ(run_binary_op(b::mul(3, 1, 2), 7, -6), -42);
+  EXPECT_EQ(run_binary_op(b::mul(3, 1, 2), 0x10000, 0x10000), 0);  // low 32
+  EXPECT_EQ(run_binary_op(b::mulh(3, 1, 2), 0x10000, 0x10000), 1);
+  EXPECT_EQ(run_binary_op(b::mulh(3, 1, 2), -1, -1), 0);
+  EXPECT_EQ(run_binary_op(b::mulhu(3, 1, 2), -1, -1), -2);  // 0xFFFFFFFE
+}
+
+TEST(ExecDsp, MacAccumulates) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, 3);
+  emit_li(prog, 2, 4);
+  emit_li(prog, 3, 100);
+  prog.push_back(b::mac(3, 1, 2));  // 100 + 12
+  prog.push_back(b::mac(3, 1, 2));  // 112 + 12
+  prog.push_back(b::halt());
+  EXPECT_EQ(run_iss(prog).regs.read(3), 124);
+}
+
+TEST(ExecDsp, MinMaxAbsClz) {
+  EXPECT_EQ(run_binary_op(b::max(3, 1, 2), -5, 3), 3);
+  EXPECT_EQ(run_binary_op(b::min(3, 1, 2), -5, 3), -5);
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, static_cast<std::uint32_t>(-7));
+  prog.push_back(b::abs_(3, 1));
+  emit_li(prog, 2, 0x0001'0000u);
+  prog.push_back(b::clz(4, 2));
+  prog.push_back(b::clz(5, 0));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(3), 7);
+  EXPECT_EQ(r.regs.read(4), 15);
+  EXPECT_EQ(r.regs.read(5), 32);
+}
+
+TEST(ExecMem, LoadStoreWidthsAndExtension) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, 0x2000);            // base
+  emit_li(prog, 2, 0xFFFF'FF80u);      // -128 pattern
+  prog.push_back(b::sw(2, 0, 1));
+  prog.push_back(b::lb(3, 0, 1));      // sign-extended byte
+  prog.push_back(b::lbu(4, 0, 1));     // zero-extended byte
+  prog.push_back(b::lh(5, 0, 1));
+  prog.push_back(b::lhu(6, 0, 1));
+  prog.push_back(b::lw(7, 0, 1));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(3), -128);
+  EXPECT_EQ(r.regs.read(4), 0x80);
+  EXPECT_EQ(r.regs.read(5), -128);
+  EXPECT_EQ(r.regs.read(6), 0xFF80);
+  EXPECT_EQ(r.regs.read_u(7), 0xFFFF'FF80u);
+}
+
+TEST(ExecMem, SubWordStoresMerge) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, 0x2000);
+  emit_li(prog, 2, 0x1111'1111u);
+  prog.push_back(b::sw(2, 0, 1));
+  emit_li(prog, 3, 0xAB);
+  prog.push_back(b::sb(3, 1, 1));   // byte 1
+  emit_li(prog, 4, 0xCDEF);
+  prog.push_back(b::sh(4, 2, 1));   // upper half
+  prog.push_back(b::lw(5, 0, 1));
+  prog.push_back(b::halt());
+  EXPECT_EQ(run_iss(prog).regs.read_u(5), 0xCDEF'AB11u);
+}
+
+TEST(ExecMem, NegativeOffsets) {
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, 0x2010);
+  emit_li(prog, 2, 77);
+  prog.push_back(b::sw(2, -16, 1));
+  prog.push_back(b::lw(3, -16, 1));
+  prog.push_back(b::halt());
+  EXPECT_EQ(run_iss(prog).regs.read(3), 77);
+}
+
+struct BranchCase {
+  Instruction instr;
+  std::int32_t rs;
+  std::int32_t rt;
+  bool taken;
+  const char* name;
+};
+
+class BranchSemantics : public ::testing::TestWithParam<BranchCase> {};
+
+TEST_P(BranchSemantics, TakenMatchesSpec) {
+  const BranchCase& c = GetParam();
+  // Layout: set r1, r2; branch +1 over a marker write; marker r10=1 executes
+  // only when the branch is NOT taken.
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, static_cast<std::uint32_t>(c.rs));
+  emit_li(prog, 2, static_cast<std::uint32_t>(c.rt));
+  Instruction br = c.instr;
+  br.rs = 1;
+  br.rt = 2;
+  br.imm = 1;
+  prog.push_back(br);
+  prog.push_back(b::addi(10, 0, 1));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(10) == 0, c.taken) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, BranchSemantics,
+    ::testing::Values(
+        BranchCase{b::beq(0, 0, 0), 4, 4, true, "beq_eq"},
+        BranchCase{b::beq(0, 0, 0), 4, 5, false, "beq_ne"},
+        BranchCase{b::bne(0, 0, 0), 4, 5, true, "bne_ne"},
+        BranchCase{b::bne(0, 0, 0), 4, 4, false, "bne_eq"},
+        BranchCase{b::blt(0, 0, 0), -1, 0, true, "blt_neg"},
+        BranchCase{b::blt(0, 0, 0), 0, 0, false, "blt_eq"},
+        BranchCase{b::bge(0, 0, 0), 0, 0, true, "bge_eq"},
+        BranchCase{b::bge(0, 0, 0), -2, -1, false, "bge_lt"},
+        BranchCase{b::bltu(0, 0, 0), 1, -1, true, "bltu_wrap"},
+        BranchCase{b::bltu(0, 0, 0), -1, 1, false, "bltu_wrap2"},
+        BranchCase{b::bgeu(0, 0, 0), -1, 1, true, "bgeu_wrap"},
+        BranchCase{b::blez(0, 0), 0, 0, true, "blez_zero"},
+        BranchCase{b::blez(0, 0), 1, 0, false, "blez_pos"},
+        BranchCase{b::bgtz(0, 0), 1, 0, true, "bgtz_pos"},
+        BranchCase{b::bgtz(0, 0), 0, 0, false, "bgtz_zero"}),
+    [](const ::testing::TestParamInfo<BranchCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExecBranch, DbneDecrementsAndBranches) {
+  // Loop three times: r1 = 3; body increments r2.
+  std::vector<Instruction> prog;
+  emit_li(prog, 1, 3);
+  prog.push_back(b::addi(2, 2, 1));   // loop body (also the dbne target)
+  prog.push_back(b::dbne(1, -2));     // back to the addi
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(2), 3);
+  EXPECT_EQ(r.regs.read(1), 0);  // counter consumed
+}
+
+TEST(ExecJump, JalLinksAndJrReturns) {
+  const std::uint32_t base = 0x1000;
+  // 0x1000 addi r4,r0,1 ; 0x1004 jal 0x1010 ; 0x1008 addi r5,r0,1 ;
+  // 0x100C halt ; 0x1010 addi r6,r0,1 ; 0x1014 jr $ra
+  std::vector<Instruction> prog;
+  prog.push_back(b::addi(4, 0, 1));
+  prog.push_back(b::jal(base + 0x10));
+  prog.push_back(b::addi(5, 0, 1));
+  prog.push_back(b::halt());
+  prog.push_back(b::addi(6, 0, 1));
+  prog.push_back(b::jr(31));
+  const auto r = run_iss(prog, nullptr, base);
+  EXPECT_EQ(r.regs.read(4), 1);
+  EXPECT_EQ(r.regs.read(5), 1);  // executed after return
+  EXPECT_EQ(r.regs.read(6), 1);
+  EXPECT_EQ(r.regs.read_u(31), base + 0x8);
+}
+
+TEST(ExecJump, JalrLinksIntoChosenRegister) {
+  const std::uint32_t base = 0x1000;
+  std::vector<Instruction> prog;
+  emit_li(prog, 9, base + 0x10);       // 0x1000 target address
+  prog.push_back(b::jalr(20, 9));      // 0x1004
+  prog.push_back(b::halt());           // 0x1008 (skipped first)
+  prog.push_back(b::nop());            // 0x100C
+  prog.push_back(b::jr(20));           // 0x1010 -> back to 0x1008
+  const auto r = run_iss(prog, nullptr, base);
+  EXPECT_EQ(r.regs.read_u(20), base + 0x8);
+}
+
+TEST(ExecMisc, WritesToZeroRegisterIgnored) {
+  std::vector<Instruction> prog;
+  prog.push_back(b::addi(0, 0, 55));
+  prog.push_back(b::add(3, 0, 0));
+  prog.push_back(b::halt());
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(0), 0);
+  EXPECT_EQ(r.regs.read(3), 0);
+}
+
+TEST(ExecMisc, IllegalInstructionTraps) {
+  mem::Memory memory;
+  memory.load_words(0x1000, std::vector<std::uint32_t>{0xFFFF'FFFFu});
+  Iss iss(memory);
+  iss.set_pc(0x1000);
+  EXPECT_THROW(iss.step(), SimError);
+}
+
+TEST(ExecMisc, ZolcInstructionWithoutAccelTraps) {
+  std::vector<isa::Instruction> prog;
+  prog.push_back(b::zoloff());
+  prog.push_back(b::halt());
+  EXPECT_THROW(run_iss(prog), SimError);
+}
+
+TEST(ExecMisc, RunHonorsStepLimit) {
+  // Infinite loop: j self.
+  const std::uint32_t base = 0x1000;
+  std::vector<isa::Instruction> prog;
+  prog.push_back(b::j(base));
+  mem::Memory memory;
+  test::load_program(memory, base, prog);
+  Iss iss(memory);
+  iss.set_pc(base);
+  EXPECT_THROW(iss.run(1000), SimError);
+}
+
+TEST(ExecMisc, HaltStopsExecution) {
+  std::vector<isa::Instruction> prog;
+  prog.push_back(b::addi(1, 0, 1));
+  prog.push_back(b::halt());
+  prog.push_back(b::addi(1, 0, 99));  // must not execute
+  const auto r = run_iss(prog);
+  EXPECT_EQ(r.regs.read(1), 1);
+  EXPECT_EQ(r.stats.instructions, 2u);
+}
+
+}  // namespace
+}  // namespace zolcsim::cpu

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/memory.hpp"
+
+namespace zolcsim::mem {
+namespace {
+
+TEST(Memory, UnwrittenReadsAsZero) {
+  Memory m;
+  EXPECT_EQ(m.read8(0), 0);
+  EXPECT_EQ(m.read16(0x8000), 0);
+  EXPECT_EQ(m.read32(0xFFFF'FFFCu), 0u);
+  EXPECT_EQ(m.resident_pages(), 0u);  // reads do not allocate
+}
+
+TEST(Memory, ByteRoundTrip) {
+  Memory m;
+  m.write8(5, 0xAB);
+  EXPECT_EQ(m.read8(5), 0xAB);
+  EXPECT_EQ(m.read8(4), 0);
+  EXPECT_EQ(m.read8(6), 0);
+}
+
+TEST(Memory, LittleEndianComposition) {
+  Memory m;
+  m.write32(0x100, 0x0403'0201u);
+  EXPECT_EQ(m.read8(0x100), 0x01);
+  EXPECT_EQ(m.read8(0x101), 0x02);
+  EXPECT_EQ(m.read8(0x102), 0x03);
+  EXPECT_EQ(m.read8(0x103), 0x04);
+  EXPECT_EQ(m.read16(0x100), 0x0201);
+  EXPECT_EQ(m.read16(0x102), 0x0403);
+}
+
+TEST(Memory, HalfwordRoundTrip) {
+  Memory m;
+  m.write16(0x200, 0xBEEF);
+  EXPECT_EQ(m.read16(0x200), 0xBEEF);
+  EXPECT_EQ(m.read8(0x200), 0xEF);
+  EXPECT_EQ(m.read8(0x201), 0xBE);
+}
+
+TEST(Memory, MisalignedAccessesFault) {
+  Memory m;
+  EXPECT_THROW((void)m.read16(1), MemoryFault);
+  EXPECT_THROW((void)m.read32(2), MemoryFault);
+  EXPECT_THROW(m.write16(3, 0), MemoryFault);
+  EXPECT_THROW(m.write32(0x101, 0), MemoryFault);
+  EXPECT_THROW((void)m.fetch32(0x1002), MemoryFault);
+}
+
+TEST(Memory, CrossPageBytes) {
+  Memory m;
+  const std::uint32_t boundary = Memory::kPageSize;
+  m.write8(boundary - 1, 0x11);
+  m.write8(boundary, 0x22);
+  EXPECT_EQ(m.read8(boundary - 1), 0x11);
+  EXPECT_EQ(m.read8(boundary), 0x22);
+  EXPECT_EQ(m.resident_pages(), 2u);
+}
+
+TEST(Memory, SparseFootprint) {
+  Memory m;
+  m.write32(0x0000'0000, 1);
+  m.write32(0x8000'0000, 2);
+  m.write32(0xFFFF'F000, 3);
+  EXPECT_EQ(m.resident_pages(), 3u);
+  EXPECT_EQ(m.read32(0x8000'0000), 2u);
+}
+
+TEST(Memory, LoadWordsAndReadBack) {
+  Memory m;
+  const std::array<std::uint32_t, 3> words = {10, 20, 30};
+  m.load_words(0x1000, words);
+  const auto back = m.read_words(0x1000, 3);
+  EXPECT_EQ(back, (std::vector<std::uint32_t>{10, 20, 30}));
+}
+
+TEST(Memory, LoadBytes) {
+  Memory m;
+  const std::array<std::uint8_t, 5> bytes = {1, 2, 3, 4, 5};
+  m.load_bytes(Memory::kPageSize - 2, bytes);  // crosses a page boundary
+  EXPECT_EQ(m.read8(Memory::kPageSize - 2), 1);
+  EXPECT_EQ(m.read8(Memory::kPageSize + 2), 5);
+}
+
+TEST(Memory, StatsCountAccesses) {
+  Memory m;
+  m.write32(0, 1);
+  m.write8(4, 2);
+  (void)m.read16(0);
+  (void)m.read32(0);
+  EXPECT_EQ(m.stats().writes, 2u);
+  EXPECT_EQ(m.stats().reads, 2u);
+  EXPECT_EQ(m.stats().bytes_written, 5u);
+  EXPECT_EQ(m.stats().bytes_read, 6u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().reads, 0u);
+}
+
+TEST(Memory, FetchDoesNotCountInDataStats) {
+  Memory m;
+  m.write32(0x100, 42);
+  m.reset_stats();
+  EXPECT_EQ(m.fetch32(0x100), 42u);
+  EXPECT_EQ(m.stats().reads, 0u);
+}
+
+TEST(Memory, OverwriteInPlace) {
+  Memory m;
+  m.write32(0x40, 0xAAAA'AAAA);
+  m.write32(0x40, 0x5555'5555);
+  EXPECT_EQ(m.read32(0x40), 0x5555'5555u);
+}
+
+}  // namespace
+}  // namespace zolcsim::mem

@@ -1,0 +1,92 @@
+// The Section-3 resource numbers: storage bytes, equivalent gates, and the
+// "cycle time not affected" timing claim.
+#include <gtest/gtest.h>
+
+#include "zolc/area_model.hpp"
+
+namespace zolcsim::zolc {
+namespace {
+
+TEST(AreaModel, StorageBytesMatchPaper) {
+  EXPECT_EQ(area_model(ZolcVariant::kMicro).storage_bytes, 30u);
+  EXPECT_EQ(area_model(ZolcVariant::kLite).storage_bytes, 258u);
+  EXPECT_EQ(area_model(ZolcVariant::kFull).storage_bytes, 642u);
+}
+
+TEST(AreaModel, StorageDerivesFromTableGeometry) {
+  // Lite = task LUT + task-start + loop table + status register.
+  const auto lite = area_model(ZolcVariant::kLite);
+  EXPECT_EQ(lite.storage_bits, 32u * 32 + 32 * 16 + 8 * 64 + 16);
+  // Full adds exactly the 64 exit/entry records of 48 bits.
+  const auto full = area_model(ZolcVariant::kFull);
+  EXPECT_EQ(full.storage_bits - lite.storage_bits, 64u * 48);
+}
+
+TEST(AreaModel, EquivalentGatesMatchPaper) {
+  EXPECT_DOUBLE_EQ(area_model(ZolcVariant::kMicro).total_gates, 298.0);
+  EXPECT_DOUBLE_EQ(area_model(ZolcVariant::kLite).total_gates, 4056.0);
+  EXPECT_DOUBLE_EQ(area_model(ZolcVariant::kFull).total_gates, 4428.0);
+}
+
+TEST(AreaModel, GlueTermIsSmallAndPositive) {
+  for (const auto variant :
+       {ZolcVariant::kMicro, ZolcVariant::kLite, ZolcVariant::kFull}) {
+    const auto b = area_model(variant);
+    EXPECT_GT(b.glue_gates, 0.0) << variant_name(variant);
+    EXPECT_LE(b.glue_gates, 0.15 * b.total_gates) << variant_name(variant);
+    EXPECT_DOUBLE_EQ(b.structural_gates + b.glue_gates, b.total_gates);
+  }
+}
+
+TEST(AreaModel, BreakdownItemsSumToStructural) {
+  for (const auto variant :
+       {ZolcVariant::kMicro, ZolcVariant::kLite, ZolcVariant::kFull}) {
+    const auto b = area_model(variant);
+    double sum = 0.0;
+    for (const auto& item : b.items) sum += item.gates;
+    EXPECT_DOUBLE_EQ(sum, b.structural_gates);
+    EXPECT_FALSE(b.items.empty());
+  }
+}
+
+TEST(AreaModel, VariantsScaleMonotonically) {
+  const auto micro = area_model(ZolcVariant::kMicro);
+  const auto lite = area_model(ZolcVariant::kLite);
+  const auto full = area_model(ZolcVariant::kFull);
+  EXPECT_LT(micro.total_gates, lite.total_gates);
+  EXPECT_LT(lite.total_gates, full.total_gates);
+  EXPECT_LT(micro.storage_bytes, lite.storage_bytes);
+  EXPECT_LT(lite.storage_bytes, full.storage_bytes);
+}
+
+TEST(TimingModel, ZolcPathDoesNotLimitTheClock) {
+  for (const auto variant :
+       {ZolcVariant::kMicro, ZolcVariant::kLite, ZolcVariant::kFull}) {
+    const auto t = timing_model(variant);
+    EXPECT_LT(t.zolc_critical_ns, t.cpu_critical_ns) << variant_name(variant);
+    EXPECT_FALSE(t.zolc_limits_clock);
+  }
+}
+
+TEST(TimingModel, FmaxAboutOneSeventyMHz) {
+  const auto t = timing_model(ZolcVariant::kFull);
+  EXPECT_NEAR(t.fmax_mhz, 170.0, 1.0);
+}
+
+TEST(Capacity, MatchesPaperConfiguration) {
+  // "ZOLCfull refers to a ZOLC supporting 32 task switching entries, and
+  //  8-loop structure with up to 4 entries/exits per loop."
+  const auto full = capacity(ZolcVariant::kFull);
+  EXPECT_EQ(full.max_tasks, 32u);
+  EXPECT_EQ(full.max_loops, 8u);
+  EXPECT_EQ(full.max_exits_per_loop, 4u);
+  EXPECT_EQ(full.max_entries_per_loop, 4u);
+  const auto lite = capacity(ZolcVariant::kLite);
+  EXPECT_EQ(lite.max_exits_per_loop, 0u);
+  const auto micro = capacity(ZolcVariant::kMicro);
+  EXPECT_EQ(micro.max_loops, 1u);
+  EXPECT_EQ(micro.max_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace zolcsim::zolc
