@@ -4,54 +4,50 @@
 //   * uZOLC: one hot innermost loop;
 //   * ZOLClite: whole nests, but multi-exit loops fall back to software;
 //   * ZOLCfull: multi-exit loops stay in hardware (candidate-exit records).
+// One SweepSpec whose variant axis is expressed via machines_for_variants.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
-#include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zolcsim;
   using codegen::MachineKind;
 
   std::printf("E4: ZOLC variant ablation (cycle reduction vs XRdefault)\n\n");
 
+  harness::SweepSpec spec;
+  spec.machines = {MachineKind::kXrDefault};
+  for (const MachineKind machine : harness::machines_for_variants(
+           {zolc::ZolcVariant::kMicro, zolc::ZolcVariant::kLite,
+            zolc::ZolcVariant::kFull})) {
+    spec.machines.push_back(machine);
+  }
+  spec.threads = harness::threads_from_args(argc, argv);
+  const auto swept = harness::run_sweep(spec);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", swept.error().message.c_str());
+    return 1;
+  }
+  const harness::SweepReport& report = swept.value();
+
   TextTable table({"benchmark", "XRdefault", "uZOLC", "ZOLClite", "ZOLCfull",
                    "uZOLC red.", "lite red.", "full red.", "hw loops u/l/f"});
-  CsvWriter csv({"benchmark", "xrdefault", "uzolc", "zolclite", "zolcfull",
-                 "uzolc_reduction", "lite_reduction", "full_reduction"});
-
-  for (const auto& kernel : kernels::kernel_registry()) {
-    std::uint64_t cycles[4] = {};
-    unsigned hw[4] = {};
-    const MachineKind machines[4] = {MachineKind::kXrDefault,
-                                     MachineKind::kUZolc,
-                                     MachineKind::kZolcLite,
-                                     MachineKind::kZolcFull};
-    for (int i = 0; i < 4; ++i) {
-      const auto result = harness::run_experiment(*kernel, machines[i]);
-      if (!result.ok()) {
-        std::fprintf(stderr, "FAILED: %s\n", result.error().message.c_str());
-        return 1;
-      }
-      cycles[i] = result.value().stats.cycles;
-      hw[i] = result.value().hw_loops;
-    }
-    const double red_u = harness::percent_reduction(cycles[0], cycles[1]);
-    const double red_l = harness::percent_reduction(cycles[0], cycles[2]);
-    const double red_f = harness::percent_reduction(cycles[0], cycles[3]);
-    table.add_row({std::string(kernel->name()), std::to_string(cycles[0]),
-                   std::to_string(cycles[1]), std::to_string(cycles[2]),
-                   std::to_string(cycles[3]), format_fixed(red_u, 1) + "%",
-                   format_fixed(red_l, 1) + "%", format_fixed(red_f, 1) + "%",
-                   std::to_string(hw[1]) + "/" + std::to_string(hw[2]) + "/" +
-                       std::to_string(hw[3])});
-    csv.add_row({std::string(kernel->name()), std::to_string(cycles[0]),
-                 std::to_string(cycles[1]), std::to_string(cycles[2]),
-                 std::to_string(cycles[3]), format_fixed(red_u, 2),
-                 format_fixed(red_l, 2), format_fixed(red_f, 2)});
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    table.add_row(
+        {report.kernels[k], std::to_string(report.cycles(k, 0)),
+         std::to_string(report.cycles(k, 1)),
+         std::to_string(report.cycles(k, 2)),
+         std::to_string(report.cycles(k, 3)),
+         format_fixed(report.reduction(k, 1), 1) + "%",
+         format_fixed(report.reduction(k, 2), 1) + "%",
+         format_fixed(report.reduction(k, 3), 1) + "%",
+         std::to_string(report.at(k, 1).hw_loops) + "/" +
+             std::to_string(report.at(k, 2).hw_loops) + "/" +
+             std::to_string(report.at(k, 3).hw_loops)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -59,7 +55,7 @@ int main() {
       "(me_tss) lite degrades to near-baseline while full keeps the whole\n"
       "structure in hardware -- the paper's motivation for multiple-exit\n"
       "support.\n");
-  if (csv.write_file("ablation_variants.csv")) {
+  if (std::ofstream("ablation_variants.csv") << report.to_csv()) {
     std::printf("(csv written to ablation_variants.csv)\n");
   }
   return 0;

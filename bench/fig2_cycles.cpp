@@ -3,101 +3,74 @@
 // XiRisc+ZOLClite, plus the in-text summary claims:
 //   "branch-decrement ... up to 27.5% and about 11.1% in average"
 //   "ZOLC ... up to 48.2% and about 26.2% in average"
+// Declarative SweepSpec over the batched engine; pass --threads=N to pick
+// the worker count (default: hardware concurrency).
 #include <cstdio>
+#include <fstream>
 #include <string>
 
-#include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace zolcsim;
+  using codegen::MachineKind;
 
-using namespace zolcsim;
-using codegen::MachineKind;
-
-struct Row {
-  std::string kernel;
-  std::uint64_t base = 0;
-  std::uint64_t hrdwil = 0;
-  std::uint64_t zolc = 0;
-};
-
-}  // namespace
-
-int main() {
   std::printf(
       "E1 / Figure 2: cycle performance, 12 benchmarks\n"
       "machines: XRdefault (baseline), XRhrdwil (dbne), XiRisc+ZOLClite\n\n");
 
-  std::vector<Row> rows;
-  for (const auto& kernel : kernels::kernel_registry()) {
-    Row row;
-    row.kernel = std::string(kernel->name());
-    for (const MachineKind machine :
-         {MachineKind::kXrDefault, MachineKind::kXrHrdwil,
-          MachineKind::kZolcLite}) {
-      const auto result = harness::run_experiment(*kernel, machine);
-      if (!result.ok()) {
-        std::fprintf(stderr, "FAILED: %s\n", result.error().message.c_str());
-        return 1;
-      }
-      const std::uint64_t cycles = result.value().stats.cycles;
-      if (machine == MachineKind::kXrDefault) row.base = cycles;
-      if (machine == MachineKind::kXrHrdwil) row.hrdwil = cycles;
-      if (machine == MachineKind::kZolcLite) row.zolc = cycles;
-    }
-    rows.push_back(row);
+  harness::SweepSpec spec;
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kXrHrdwil,
+                   MachineKind::kZolcLite};
+  spec.threads = harness::threads_from_args(argc, argv);
+  const auto swept = harness::run_sweep(spec);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", swept.error().message.c_str());
+    return 1;
   }
+  const harness::SweepReport& report = swept.value();
 
   TextTable table({"benchmark", "XRdefault", "XRhrdwil", "ZOLClite",
                    "hrdwil rel", "ZOLC rel", "ZOLC saving"});
-  CsvWriter csv({"benchmark", "xrdefault_cycles", "xrhrdwil_cycles",
-                 "zolclite_cycles", "hrdwil_relative", "zolc_relative"});
-  double hrdwil_sum = 0.0, hrdwil_max = 0.0;
-  double zolc_sum = 0.0, zolc_max = 0.0;
-  for (const Row& row : rows) {
-    const double rel_h =
-        static_cast<double>(row.hrdwil) / static_cast<double>(row.base);
-    const double rel_z =
-        static_cast<double>(row.zolc) / static_cast<double>(row.base);
-    const double red_h = harness::percent_reduction(row.base, row.hrdwil);
-    const double red_z = harness::percent_reduction(row.base, row.zolc);
-    hrdwil_sum += red_h;
-    hrdwil_max = std::max(hrdwil_max, red_h);
-    zolc_sum += red_z;
-    zolc_max = std::max(zolc_max, red_z);
-    table.add_row({row.kernel, std::to_string(row.base),
-                   std::to_string(row.hrdwil), std::to_string(row.zolc),
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    const std::uint64_t base = report.cycles(k, 0);
+    const std::uint64_t hrdwil = report.cycles(k, 1);
+    const std::uint64_t zolc = report.cycles(k, 2);
+    const double rel_h = static_cast<double>(hrdwil) / static_cast<double>(base);
+    const double rel_z = static_cast<double>(zolc) / static_cast<double>(base);
+    table.add_row({report.kernels[k], std::to_string(base),
+                   std::to_string(hrdwil), std::to_string(zolc),
                    format_fixed(rel_h, 3), format_fixed(rel_z, 3),
-                   format_fixed(red_z, 1) + "%"});
-    csv.add_row({row.kernel, std::to_string(row.base),
-                 std::to_string(row.hrdwil), std::to_string(row.zolc),
-                 format_fixed(rel_h, 4), format_fixed(rel_z, 4)});
+                   format_fixed(report.reduction(k, 2), 1) + "%"});
   }
   std::printf("%s\n", table.render().c_str());
 
   std::printf("relative cycles (XRdefault = 1.0):\n");
-  for (const Row& row : rows) {
-    const double rel_h =
-        static_cast<double>(row.hrdwil) / static_cast<double>(row.base);
-    const double rel_z =
-        static_cast<double>(row.zolc) / static_cast<double>(row.base);
-    std::printf("  %-10s default |%s\n", row.kernel.c_str(),
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    const double base = static_cast<double>(report.cycles(k, 0));
+    const double rel_h = static_cast<double>(report.cycles(k, 1)) / base;
+    const double rel_z = static_cast<double>(report.cycles(k, 2)) / base;
+    std::printf("  %-10s default |%s\n", report.kernels[k].c_str(),
                 ascii_bar(1.0, 1.0, 40).c_str());
     std::printf("  %-10s hrdwil  |%s\n", "", ascii_bar(rel_h, 1.0, 40).c_str());
     std::printf("  %-10s ZOLC    |%s\n", "", ascii_bar(rel_z, 1.0, 40).c_str());
   }
 
-  const double n = static_cast<double>(rows.size());
+  const harness::SweepAggregate hrdwil = report.aggregate(1);
+  const harness::SweepAggregate zolc = report.aggregate(2);
   std::printf("\nsummary (cycle reduction vs XRdefault):\n");
   std::printf("  XRhrdwil : max %.1f%%  avg %.1f%%   (paper: up to 27.5%%, avg 11.1%%)\n",
-              hrdwil_max, hrdwil_sum / n);
+              hrdwil.max_reduction, hrdwil.avg_reduction);
   std::printf("  ZOLClite : max %.1f%%  avg %.1f%%   (paper: up to 48.2%%, avg 26.2%%)\n",
-              zolc_max, zolc_sum / n);
+              zolc.max_reduction, zolc.avg_reduction);
 
-  if (csv.write_file("fig2_cycles.csv")) {
+  if (std::ofstream("fig2_cycles.csv") << report.to_csv()) {
     std::printf("\n(csv written to fig2_cycles.csv)\n");
+  }
+  if (std::ofstream("fig2_cycles.json") << report.to_json()) {
+    std::printf("(json written to fig2_cycles.json)\n");
   }
   return 0;
 }

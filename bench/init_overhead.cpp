@@ -2,46 +2,46 @@
 // small cycle overhead since it occurs outside of loop nests."
 // Reports, per benchmark, the init-sequence length, its share of total
 // cycles, and the cycles the loop hardware saves -- i.e. how quickly the
-// one-time investment amortizes.
+// one-time investment amortizes. One two-machine SweepSpec.
 #include <cstdio>
 #include <string>
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zolcsim;
   using codegen::MachineKind;
 
   std::printf("E3: ZOLC initialization overhead (ZOLClite)\n\n");
 
+  harness::SweepSpec spec;
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
+  spec.threads = harness::threads_from_args(argc, argv);
+  const auto swept = harness::run_sweep(spec);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", swept.error().message.c_str());
+    return 1;
+  }
+  const harness::SweepReport& report = swept.value();
+
   TextTable table({"benchmark", "init instrs", "table writes", "total cycles",
                    "init share", "cycles saved vs default"});
   CsvWriter csv({"benchmark", "init_instructions", "table_writes",
                  "total_cycles", "init_share_percent", "cycles_saved"});
-  for (const auto& kernel : kernels::kernel_registry()) {
-    const auto base =
-        harness::run_experiment(*kernel, MachineKind::kXrDefault);
-    const auto zolc = harness::run_experiment(*kernel, MachineKind::kZolcLite);
-    if (!base.ok() || !zolc.ok()) {
-      std::fprintf(stderr, "FAILED: %s\n",
-                   (!base.ok() ? base.error() : zolc.error()).message.c_str());
-      return 1;
-    }
-    const auto& z = zolc.value();
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    const harness::ExperimentResult& z = report.at(k, 1);
     const double share = 100.0 * static_cast<double>(z.init_instructions) /
                          static_cast<double>(z.stats.cycles);
-    const auto saved = static_cast<std::int64_t>(base.value().stats.cycles) -
+    const auto saved = static_cast<std::int64_t>(report.cycles(k, 0)) -
                        static_cast<std::int64_t>(z.stats.cycles);
-    table.add_row({std::string(kernel->name()),
-                   std::to_string(z.init_instructions),
+    table.add_row({report.kernels[k], std::to_string(z.init_instructions),
                    std::to_string(z.zolc_stats.table_writes),
                    std::to_string(z.stats.cycles),
                    format_fixed(share, 2) + "%", std::to_string(saved)});
-    csv.add_row({std::string(kernel->name()),
-                 std::to_string(z.init_instructions),
+    csv.add_row({report.kernels[k], std::to_string(z.init_instructions),
                  std::to_string(z.zolc_stats.table_writes),
                  std::to_string(z.stats.cycles), format_fixed(share, 3),
                  std::to_string(saved)});

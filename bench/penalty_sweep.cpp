@@ -1,16 +1,17 @@
 // E5 -- methodology ablation: how sensitive are the Figure 2 savings to the
-// modelled branch micro-architecture? Sweeps the branch-resolution stage
-// (EX: 2-cycle taken penalty, the default; ID: 1-cycle early branch) and the
-// ZOLC speculation policy (rollback vs conservative fetch gating), reporting
-// the suite-average ZOLClite cycle reduction for each point.
+// modelled branch micro-architecture? One SweepSpec over the full pipeline
+// config grid: branch-resolution stage (EX: 2-cycle taken penalty, the
+// default; ID: 1-cycle early branch) x ZOLC speculation policy (rollback vs
+// conservative fetch gating), reporting the suite-average ZOLClite cycle
+// reduction for each point.
 #include <cstdio>
 #include <string>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace zolcsim;
   using codegen::MachineKind;
   using cpu::BranchResolveStage;
@@ -19,52 +20,32 @@ int main() {
 
   std::printf("E5: sensitivity of ZOLC gains to branch handling\n\n");
 
-  const struct {
-    const char* name;
-    PipelineConfig config;
-  } points[] = {
-      {"EX-resolve + rollback (default)",
-       {BranchResolveStage::kExecute, SpeculationPolicy::kRollback, true}},
-      {"EX-resolve + fetch gating",
-       {BranchResolveStage::kExecute, SpeculationPolicy::kGate, true}},
-      {"ID-resolve + rollback",
-       {BranchResolveStage::kDecode, SpeculationPolicy::kRollback, true}},
-      {"ID-resolve + fetch gating",
-       {BranchResolveStage::kDecode, SpeculationPolicy::kGate, true}},
-  };
+  harness::SweepSpec spec;
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kXrHrdwil,
+                   MachineKind::kZolcLite};
+  spec.configs = {
+      {BranchResolveStage::kExecute, SpeculationPolicy::kRollback, true},
+      {BranchResolveStage::kExecute, SpeculationPolicy::kGate, true},
+      {BranchResolveStage::kDecode, SpeculationPolicy::kRollback, true},
+      {BranchResolveStage::kDecode, SpeculationPolicy::kGate, true}};
+  spec.threads = harness::threads_from_args(argc, argv);
+  const auto swept = harness::run_sweep(spec);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", swept.error().message.c_str());
+    return 1;
+  }
+  const harness::SweepReport& report = swept.value();
 
   TextTable table({"configuration", "avg ZOLC reduction", "max ZOLC reduction",
                    "avg hrdwil reduction", "gate stalls (suite)"});
-  for (const auto& point : points) {
-    double zolc_sum = 0.0, zolc_max = 0.0, hrdwil_sum = 0.0;
-    std::uint64_t gate_stalls = 0;
-    unsigned count = 0;
-    for (const auto& kernel : kernels::kernel_registry()) {
-      const auto base = harness::run_experiment(
-          *kernel, MachineKind::kXrDefault, {}, point.config);
-      const auto hrdwil = harness::run_experiment(
-          *kernel, MachineKind::kXrHrdwil, {}, point.config);
-      const auto zolc = harness::run_experiment(
-          *kernel, MachineKind::kZolcLite, {}, point.config);
-      if (!base.ok() || !hrdwil.ok() || !zolc.ok()) {
-        std::fprintf(stderr, "FAILED on %s\n",
-                     std::string(kernel->name()).c_str());
-        return 1;
-      }
-      const double red_z = harness::percent_reduction(
-          base.value().stats.cycles, zolc.value().stats.cycles);
-      zolc_sum += red_z;
-      zolc_max = std::max(zolc_max, red_z);
-      hrdwil_sum += harness::percent_reduction(base.value().stats.cycles,
-                                               hrdwil.value().stats.cycles);
-      gate_stalls += zolc.value().stats.gate_stalls;
-      ++count;
-    }
-    const double n = count;
-    table.add_row({point.name, format_fixed(zolc_sum / n, 1) + "%",
-                   format_fixed(zolc_max, 1) + "%",
-                   format_fixed(hrdwil_sum / n, 1) + "%",
-                   std::to_string(gate_stalls)});
+  for (std::size_t c = 0; c < report.configs.size(); ++c) {
+    const harness::SweepAggregate zolc = report.aggregate(2, c);
+    const harness::SweepAggregate hrdwil = report.aggregate(1, c);
+    table.add_row({harness::config_name(report.configs[c]),
+                   format_fixed(zolc.avg_reduction, 1) + "%",
+                   format_fixed(zolc.max_reduction, 1) + "%",
+                   format_fixed(hrdwil.avg_reduction, 1) + "%",
+                   std::to_string(zolc.gate_stalls)});
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(

@@ -16,10 +16,11 @@ using isa::Opcode;
 void Iss::step() {
   if (halted_) return;
 
-  const std::uint32_t word = mem_.fetch32(pc_);
-  const Instruction instr = isa::decode(word);
+  const Instruction instr =
+      image_.covers(pc_) ? image_.at(pc_) : isa::decode(mem_.fetch32(pc_));
   if (!instr.valid()) {
-    throw SimError("illegal instruction " + hex32(word) + " at " + hex32(pc_));
+    throw SimError("illegal instruction " + hex32(mem_.fetch32(pc_)) +
+                   " at " + hex32(pc_));
   }
   const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
 

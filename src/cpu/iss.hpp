@@ -13,6 +13,7 @@
 #include "cpu/accel.hpp"
 #include "cpu/exec.hpp"
 #include "cpu/regfile.hpp"
+#include "isa/code_image.hpp"
 #include "mem/memory.hpp"
 
 namespace zolcsim::cpu {
@@ -37,6 +38,11 @@ class Iss {
   /// Attaches a loop accelerator (non-owning; may be nullptr).
   void set_accelerator(LoopAccelerator* accel) noexcept { accel_ = accel; }
 
+  /// Attaches a predecoded code image (non-owning; must outlive the ISS).
+  /// Fetches inside the image skip the per-step decode; fetches outside it
+  /// decode from memory as before.
+  void set_code_image(isa::CodeImage image) noexcept { image_ = image; }
+
   /// Observer called after each executed instruction.
   void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
 
@@ -59,6 +65,7 @@ class Iss {
  private:
   mem::Memory& mem_;
   RegFile regs_;
+  isa::CodeImage image_;
   LoopAccelerator* accel_ = nullptr;
   RetireHook retire_hook_;
   std::uint32_t pc_ = 0;

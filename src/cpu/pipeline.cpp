@@ -383,7 +383,8 @@ void Pipeline::cycle() {
       IfId ifi;
       ifi.valid = true;
       ifi.pc = pc_;
-      ifi.instr = isa::decode(mem_.fetch32(pc_));
+      ifi.instr = image_.covers(pc_) ? image_.at(pc_)
+                                     : isa::decode(mem_.fetch32(pc_));
       if (accel_ != nullptr && accel_->will_trigger(pc_)) {
         FetchInfo fi;
         fi.before = accel_->snapshot();

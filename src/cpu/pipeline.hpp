@@ -21,6 +21,7 @@
 #include "cpu/exec.hpp"
 #include "cpu/iss.hpp"
 #include "cpu/regfile.hpp"
+#include "isa/code_image.hpp"
 #include "isa/encoding.hpp"
 #include "mem/memory.hpp"
 
@@ -64,6 +65,11 @@ class Pipeline {
 
   /// Attaches a loop accelerator (non-owning; may be nullptr).
   void set_accelerator(LoopAccelerator* accel) noexcept { accel_ = accel; }
+
+  /// Attaches a predecoded code image (non-owning; must outlive the
+  /// pipeline). Fetches inside the image skip the per-cycle decode; fetches
+  /// outside it decode from memory as before.
+  void set_code_image(isa::CodeImage image) noexcept { image_ = image; }
 
   /// Observer called at write-back for every retired instruction (program
   /// order; wrong-path instructions never reach it).
@@ -148,6 +154,7 @@ class Pipeline {
   mem::Memory& mem_;
   PipelineConfig config_;
   RegFile regs_;
+  isa::CodeImage image_;
   LoopAccelerator* accel_ = nullptr;
   RetireHook retire_hook_;
   Latches latches_;

@@ -8,7 +8,8 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
                                         codegen::MachineKind machine,
                                         const kernels::KernelEnv& env,
                                         cpu::PipelineConfig config,
-                                        std::uint64_t max_cycles) {
+                                        std::uint64_t max_cycles,
+                                        bool predecode) {
   auto lowered = codegen::lower(kernel.build(env), machine, env.code_base);
   if (!lowered.ok()) {
     return Error{std::string(kernel.name()) + " (" +
@@ -28,6 +29,7 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
 
   cpu::Pipeline pipe(memory, config);
   pipe.set_accelerator(controller.get());
+  if (predecode) pipe.set_code_image(program.image());
   pipe.set_pc(program.base);
   try {
     pipe.run(max_cycles);

@@ -29,11 +29,13 @@ struct ExperimentResult {
 
 /// Runs one (kernel, machine) experiment. Output verification failures and
 /// lowering errors are returned as Error (a failed verification is a bug,
-/// never a reportable data point).
+/// never a reportable data point). `predecode` selects the predecoded
+/// instruction-image fetch fast path (identical architectural behaviour;
+/// off is kept for throughput comparisons).
 [[nodiscard]] Result<ExperimentResult> run_experiment(
     const kernels::Kernel& kernel, codegen::MachineKind machine,
     const kernels::KernelEnv& env = {}, cpu::PipelineConfig config = {},
-    std::uint64_t max_cycles = 200'000'000);
+    std::uint64_t max_cycles = 200'000'000, bool predecode = true);
 
 /// Percentage cycle reduction of `cycles` vs `baseline` (paper's metric).
 [[nodiscard]] double percent_reduction(std::uint64_t baseline,

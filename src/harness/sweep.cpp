@@ -1,0 +1,315 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+
+namespace zolcsim::harness {
+
+namespace {
+
+/// Default-constructible per-cell outcome so workers can write results into
+/// preallocated slots without synchronization. kNotRun marks cells skipped
+/// by the early-abort after another cell failed.
+struct CellOutcome {
+  enum class State : std::uint8_t { kNotRun, kOk, kError };
+  State state = State::kNotRun;
+  ExperimentResult result;
+  Error error;
+};
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<codegen::MachineKind> machines_for_variants(
+    const std::vector<zolc::ZolcVariant>& variants) {
+  std::vector<codegen::MachineKind> machines;
+  for (const zolc::ZolcVariant variant : variants) {
+    switch (variant) {
+      case zolc::ZolcVariant::kMicro:
+        machines.push_back(codegen::MachineKind::kUZolc);
+        break;
+      case zolc::ZolcVariant::kLite:
+        machines.push_back(codegen::MachineKind::kZolcLite);
+        break;
+      case zolc::ZolcVariant::kFull:
+        machines.push_back(codegen::MachineKind::kZolcFull);
+        break;
+    }
+  }
+  return machines;
+}
+
+std::string config_name(const cpu::PipelineConfig& config) {
+  std::string name =
+      config.branch_resolve == cpu::BranchResolveStage::kExecute
+          ? "EX-resolve"
+          : "ID-resolve";
+  name += config.speculation == cpu::SpeculationPolicy::kRollback
+              ? "/rollback"
+              : "/gate";
+  if (!config.forwarding) name += "/nofwd";
+  return name;
+}
+
+const ExperimentResult& SweepReport::at(std::size_t kernel,
+                                        std::size_t machine,
+                                        std::size_t config) const {
+  ZS_EXPECTS(kernel < kernels.size() && machine < machines.size() &&
+             config < configs.size());
+  return cells[(kernel * machines.size() + machine) * configs.size() + config]
+      .result;
+}
+
+const ExperimentResult* SweepReport::find(std::string_view kernel,
+                                          codegen::MachineKind machine,
+                                          std::size_t config) const {
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    if (kernels[k] != kernel) continue;
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      if (machines[m] != machine) continue;
+      if (config >= configs.size()) return nullptr;
+      return &at(k, m, config);
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t SweepReport::cycles(std::size_t kernel, std::size_t machine,
+                                  std::size_t config) const {
+  return at(kernel, machine, config).stats.cycles;
+}
+
+double SweepReport::reduction(std::size_t kernel, std::size_t machine,
+                              std::size_t config) const {
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    if (machines[m] == baseline) {
+      return percent_reduction(cycles(kernel, m, config),
+                               cycles(kernel, machine, config));
+    }
+  }
+  return 0.0;
+}
+
+SweepAggregate SweepReport::aggregate(std::size_t machine,
+                                      std::size_t config) const {
+  SweepAggregate agg;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    const ExperimentResult& r = at(k, machine, config);
+    const double red = reduction(k, machine, config);
+    agg.avg_reduction += red;
+    agg.max_reduction = std::max(agg.max_reduction, red);
+    agg.total_cycles += r.stats.cycles;
+    agg.total_instructions += r.stats.instructions;
+    agg.gate_stalls += r.stats.gate_stalls;
+    agg.zolc_fetch_events += r.stats.zolc_fetch_events;
+    agg.continue_events += r.zolc_stats.continue_events;
+    agg.done_events += r.zolc_stats.done_events;
+    agg.table_writes += r.zolc_stats.table_writes;
+  }
+  if (!kernels.empty()) {
+    agg.avg_reduction /= static_cast<double>(kernels.size());
+  }
+  return agg;
+}
+
+std::string SweepReport::to_csv() const {
+  CsvWriter csv({"kernel", "machine", "config", "cycles", "instructions",
+                 "reduction_pct", "init_instructions", "hw_loops", "sw_loops",
+                 "code_words", "continue_events", "done_events",
+                 "table_writes", "gate_stalls", "load_use_stalls",
+                 "control_flush_slots"});
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        const ExperimentResult& r = at(k, m, c);
+        csv.add_row({kernels[k],
+                     std::string(codegen::machine_name(machines[m])),
+                     config_name(configs[c]),
+                     std::to_string(r.stats.cycles),
+                     std::to_string(r.stats.instructions),
+                     format_fixed(reduction(k, m, c), 4),
+                     std::to_string(r.init_instructions),
+                     std::to_string(r.hw_loops), std::to_string(r.sw_loops),
+                     std::to_string(r.code_words),
+                     std::to_string(r.zolc_stats.continue_events),
+                     std::to_string(r.zolc_stats.done_events),
+                     std::to_string(r.zolc_stats.table_writes),
+                     std::to_string(r.stats.gate_stalls),
+                     std::to_string(r.stats.load_use_stalls),
+                     std::to_string(r.stats.control_flush_slots)});
+      }
+    }
+  }
+  return csv.render();
+}
+
+std::string SweepReport::to_json() const {
+  std::string out = "{\n  \"baseline\": \"";
+  out += codegen::machine_name(baseline);
+  out += "\",\n  \"cells\": [\n";
+  bool first = true;
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        const ExperimentResult& r = at(k, m, c);
+        if (!first) out += ",\n";
+        first = false;
+        out += "    {\"kernel\": \"" + json_escape(kernels[k]) +
+               "\", \"machine\": \"" +
+               std::string(codegen::machine_name(machines[m])) +
+               "\", \"config\": \"" + json_escape(config_name(configs[c])) +
+               "\", \"cycles\": " + std::to_string(r.stats.cycles) +
+               ", \"instructions\": " + std::to_string(r.stats.instructions) +
+               ", \"reduction_pct\": " + format_fixed(reduction(k, m, c), 4) +
+               ", \"init_instructions\": " +
+               std::to_string(r.init_instructions) +
+               ", \"hw_loops\": " + std::to_string(r.hw_loops) +
+               ", \"sw_loops\": " + std::to_string(r.sw_loops) +
+               ", \"continue_events\": " +
+               std::to_string(r.zolc_stats.continue_events) +
+               ", \"done_events\": " +
+               std::to_string(r.zolc_stats.done_events) + "}";
+      }
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+Result<SweepReport> run_sweep(const SweepSpec& spec) {
+  SweepReport report;
+  report.baseline = spec.baseline;
+
+  if (spec.kernels.empty()) {
+    for (const auto& kernel : kernels::kernel_registry()) {
+      report.kernels.emplace_back(kernel->name());
+    }
+  } else {
+    report.kernels = spec.kernels;
+  }
+  for (const std::string& name : report.kernels) {
+    if (kernels::find_kernel(name) == nullptr) {
+      return Error{"sweep: unknown kernel '" + name + "'"};
+    }
+  }
+
+  if (spec.machines.empty()) {
+    report.machines.assign(std::begin(codegen::kAllMachines),
+                           std::end(codegen::kAllMachines));
+  } else {
+    report.machines = spec.machines;
+  }
+  report.configs = spec.configs.empty()
+                       ? std::vector<cpu::PipelineConfig>{cpu::PipelineConfig{}}
+                       : spec.configs;
+
+  const std::size_t n_machines = report.machines.size();
+  const std::size_t n_configs = report.configs.size();
+  const std::size_t n_cells = report.kernels.size() * n_machines * n_configs;
+  std::vector<CellOutcome> outcomes(n_cells);
+
+  // Each worker claims cell indices from a shared counter and writes only
+  // its own slot; cell order (and thus the report) is thread-count
+  // independent. Any failure stops further claims -- the sweep is already
+  // lost, so remaining cells (up to max_cycles each) are not worth running.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1);
+         i < n_cells && !failed.load(std::memory_order_relaxed);
+         i = next.fetch_add(1)) {
+      const std::size_t k = i / (n_machines * n_configs);
+      const std::size_t m = (i / n_configs) % n_machines;
+      const std::size_t c = i % n_configs;
+      CellOutcome& out = outcomes[i];
+      try {
+        auto result = run_experiment(*kernels::find_kernel(report.kernels[k]),
+                                     report.machines[m], spec.env,
+                                     report.configs[c], spec.max_cycles,
+                                     spec.predecode);
+        if (result.ok()) {
+          out.state = CellOutcome::State::kOk;
+          out.result = std::move(result).value();
+        } else {
+          out.state = CellOutcome::State::kError;
+          out.error = result.error();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      } catch (const std::exception& e) {
+        out.state = CellOutcome::State::kError;
+        out.error = Error{"sweep cell " + report.kernels[k] + "/" +
+                          std::string(codegen::machine_name(
+                              report.machines[m])) +
+                          ": " + e.what()};
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  unsigned threads = spec.threads != 0 ? spec.threads
+                                       : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n_cells == 0 ? 1 : n_cells));
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (failed.load()) {
+    for (const CellOutcome& out : outcomes) {
+      if (out.state == CellOutcome::State::kError) return out.error;
+    }
+  }
+  report.cells.reserve(n_cells);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    ZS_ASSERT(outcomes[i].state == CellOutcome::State::kOk);
+    SweepCell cell;
+    cell.kernel = i / (n_machines * n_configs);
+    cell.machine = (i / n_configs) % n_machines;
+    cell.config = i % n_configs;
+    cell.result = std::move(outcomes[i].result);
+    report.cells.push_back(std::move(cell));
+  }
+  return report;
+}
+
+unsigned uint_from_args(int argc, char** argv, std::string_view prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (starts_with(arg, prefix)) {
+      if (const auto n = parse_int(arg.substr(prefix.size())); n && *n > 0) {
+        return static_cast<unsigned>(*n);
+      }
+    }
+  }
+  return 0;
+}
+
+unsigned threads_from_args(int argc, char** argv) {
+  return uint_from_args(argc, argv, "--threads=");
+}
+
+}  // namespace zolcsim::harness

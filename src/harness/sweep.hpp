@@ -1,0 +1,110 @@
+// Batched sweep engine: declaratively describes a kernel x machine x
+// pipeline-config experiment grid and executes it on a worker pool. Every
+// benchmark binary is a thin SweepSpec over this engine instead of a
+// hand-rolled serial loop.
+//
+// Determinism: cells are indexed kernel-major (kernel, then machine, then
+// config) and each worker writes only its claimed cell, so the report -- and
+// everything rendered from it -- is byte-identical for any thread count.
+#ifndef ZOLCSIM_HARNESS_SWEEP_HPP
+#define ZOLCSIM_HARNESS_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace zolcsim::harness {
+
+/// The experiment grid. Empty dimension = the engine's default for it
+/// (all registry kernels / all machines / the default pipeline config).
+struct SweepSpec {
+  std::vector<std::string> kernels;
+  std::vector<codegen::MachineKind> machines;
+  std::vector<cpu::PipelineConfig> configs;
+  kernels::KernelEnv env;
+  codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
+  std::uint64_t max_cycles = 200'000'000;
+  unsigned threads = 0;     ///< 0 = hardware concurrency
+  bool predecode = true;    ///< use the predecoded instruction image
+};
+
+/// Machines carrying the given ZOLC variants (the variant axis of a sweep
+/// expressed in MachineKind terms).
+[[nodiscard]] std::vector<codegen::MachineKind> machines_for_variants(
+    const std::vector<zolc::ZolcVariant>& variants);
+
+/// One point of the grid. `kernel/machine/config` index into the report's
+/// resolved dimension vectors.
+struct SweepCell {
+  std::size_t kernel = 0;
+  std::size_t machine = 0;
+  std::size_t config = 0;
+  ExperimentResult result;
+};
+
+/// Suite-level aggregate for one (machine, config) column.
+struct SweepAggregate {
+  double avg_reduction = 0.0;  ///< mean %-reduction vs the baseline machine
+  double max_reduction = 0.0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_instructions = 0;
+  std::uint64_t gate_stalls = 0;
+  std::uint64_t zolc_fetch_events = 0;
+  std::uint64_t continue_events = 0;
+  std::uint64_t done_events = 0;
+  std::uint64_t table_writes = 0;
+};
+
+/// Order-stable sweep output. Cell (k, m, c) lives at index
+/// (k * machines.size() + m) * configs.size() + c.
+struct SweepReport {
+  std::vector<std::string> kernels;             ///< resolved kernel names
+  std::vector<codegen::MachineKind> machines;   ///< resolved machine set
+  std::vector<cpu::PipelineConfig> configs;     ///< resolved config grid
+  codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
+  std::vector<SweepCell> cells;
+
+  [[nodiscard]] const ExperimentResult& at(std::size_t kernel,
+                                           std::size_t machine,
+                                           std::size_t config = 0) const;
+  /// Lookup by names; nullptr when the cell is not in the grid.
+  [[nodiscard]] const ExperimentResult* find(std::string_view kernel,
+                                             codegen::MachineKind machine,
+                                             std::size_t config = 0) const;
+
+  [[nodiscard]] std::uint64_t cycles(std::size_t kernel, std::size_t machine,
+                                     std::size_t config = 0) const;
+  /// %-reduction of (kernel, machine, config) vs the baseline machine at the
+  /// same config. 0 when the baseline machine is not part of the sweep.
+  [[nodiscard]] double reduction(std::size_t kernel, std::size_t machine,
+                                 std::size_t config = 0) const;
+  [[nodiscard]] SweepAggregate aggregate(std::size_t machine,
+                                         std::size_t config = 0) const;
+
+  /// Full grid as CSV (one row per cell) / JSON (meta + cell array).
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Short human-readable name for a pipeline config, e.g.
+/// "EX-resolve/rollback" (suffixes "/nofwd" and "/nopredecode" as needed).
+[[nodiscard]] std::string config_name(const cpu::PipelineConfig& config);
+
+/// Executes the sweep. Any failing cell (lowering, simulation, or output
+/// verification) fails the whole sweep with the lowest-index cell's error.
+[[nodiscard]] Result<SweepReport> run_sweep(const SweepSpec& spec);
+
+/// Parses a "--name=N" unsigned flag from argv (for the bench binaries);
+/// 0 when absent, malformed, or non-positive.
+[[nodiscard]] unsigned uint_from_args(int argc, char** argv,
+                                      std::string_view prefix);
+
+/// Parses "--threads=N" from argv; 0 when absent.
+[[nodiscard]] unsigned threads_from_args(int argc, char** argv);
+
+}  // namespace zolcsim::harness
+
+#endif  // ZOLCSIM_HARNESS_SWEEP_HPP

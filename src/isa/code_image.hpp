@@ -1,0 +1,35 @@
+// Predecoded code image: a non-owning view of an already-decoded instruction
+// range. The simulators consult it on fetch so each code word is decoded
+// once per program load instead of once per executed step; PCs outside the
+// image (or misaligned) fall back to decoding from simulated memory, which
+// preserves the alignment trap and self-modifying-code behaviour for callers
+// that bypass the image (e.g. the zolcscan binary-patch flow).
+#ifndef ZOLCSIM_ISA_CODE_IMAGE_HPP
+#define ZOLCSIM_ISA_CODE_IMAGE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace zolcsim::isa {
+
+struct CodeImage {
+  std::uint32_t base = 0;
+  const Instruction* code = nullptr;
+  std::size_t size_words = 0;
+
+  [[nodiscard]] bool covers(std::uint32_t pc) const noexcept {
+    return code != nullptr && (pc & 3u) == 0 && pc >= base &&
+           (pc - base) / 4 < size_words;
+  }
+
+  /// Precondition: covers(pc).
+  [[nodiscard]] const Instruction& at(std::uint32_t pc) const noexcept {
+    return code[(pc - base) / 4];
+  }
+};
+
+}  // namespace zolcsim::isa
+
+#endif  // ZOLCSIM_ISA_CODE_IMAGE_HPP

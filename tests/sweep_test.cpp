@@ -1,0 +1,179 @@
+// Sweep-engine behaviour: thread-count invariance, parity with the serial
+// experiment runner, dimension resolution, aggregates, emitters, and the
+// predecoded-fetch equivalence the engine's fast path relies on.
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace zolcsim::harness {
+namespace {
+
+using codegen::MachineKind;
+using cpu::BranchResolveStage;
+using cpu::PipelineConfig;
+using cpu::SpeculationPolicy;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.kernels = {"dotprod", "fir", "matmul"};
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kXrHrdwil,
+                   MachineKind::kZolcLite};
+  return spec;
+}
+
+TEST(Sweep, ReportIsIdenticalAcrossThreadCounts) {
+  SweepSpec spec = small_spec();
+  spec.threads = 1;
+  const auto serial = run_sweep(spec);
+  ASSERT_TRUE(serial.ok()) << serial.error().message;
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    spec.threads = threads;
+    const auto parallel = run_sweep(spec);
+    ASSERT_TRUE(parallel.ok()) << parallel.error().message;
+    ASSERT_EQ(serial.value().cells.size(), parallel.value().cells.size());
+    for (std::size_t i = 0; i < serial.value().cells.size(); ++i) {
+      const auto& a = serial.value().cells[i].result;
+      const auto& b = parallel.value().cells[i].result;
+      EXPECT_EQ(a.kernel, b.kernel);
+      EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+      EXPECT_EQ(a.stats.instructions, b.stats.instructions);
+      EXPECT_EQ(a.zolc_stats.continue_events, b.zolc_stats.continue_events);
+    }
+    // Byte-identical rendered artifacts, not just equal stats.
+    EXPECT_EQ(serial.value().to_csv(), parallel.value().to_csv());
+    EXPECT_EQ(serial.value().to_json(), parallel.value().to_json());
+  }
+}
+
+TEST(Sweep, EngineMatchesSerialRunExperiment) {
+  // The fig2 grid through the engine must reproduce the values the
+  // pre-engine benchmarks computed with direct run_experiment calls.
+  SweepSpec spec = small_spec();
+  spec.threads = 4;
+  const auto report = run_sweep(spec);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+
+  for (std::size_t k = 0; k < report.value().kernels.size(); ++k) {
+    const kernels::Kernel* kernel =
+        kernels::find_kernel(report.value().kernels[k]);
+    ASSERT_NE(kernel, nullptr);
+    for (std::size_t m = 0; m < report.value().machines.size(); ++m) {
+      const auto direct =
+          run_experiment(*kernel, report.value().machines[m]);
+      ASSERT_TRUE(direct.ok()) << direct.error().message;
+      const ExperimentResult& cell = report.value().at(k, m);
+      EXPECT_EQ(direct.value().stats.cycles, cell.stats.cycles);
+      EXPECT_EQ(direct.value().stats.instructions, cell.stats.instructions);
+      EXPECT_EQ(direct.value().init_instructions, cell.init_instructions);
+      EXPECT_EQ(direct.value().hw_loops, cell.hw_loops);
+    }
+  }
+}
+
+TEST(Sweep, EmptyDimensionsResolveToDefaults) {
+  SweepSpec spec;
+  spec.kernels = {"dotprod"};  // keep runtime small; machines/configs default
+  const auto report = run_sweep(spec);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().machines.size(), std::size(codegen::kAllMachines));
+  EXPECT_EQ(report.value().configs.size(), 1u);
+  EXPECT_EQ(report.value().cells.size(), std::size(codegen::kAllMachines));
+}
+
+TEST(Sweep, UnknownKernelFailsTheSweep) {
+  SweepSpec spec;
+  spec.kernels = {"no_such_kernel"};
+  const auto report = run_sweep(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("no_such_kernel"), std::string::npos);
+}
+
+TEST(Sweep, ReductionAndAggregateAreConsistent) {
+  SweepSpec spec = small_spec();
+  const auto report = run_sweep(spec);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  const SweepReport& r = report.value();
+
+  // Baseline machine reduces 0% against itself.
+  for (std::size_t k = 0; k < r.kernels.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r.reduction(k, 0), 0.0);
+  }
+  // Aggregate average equals the mean of per-kernel reductions.
+  double sum = 0.0;
+  for (std::size_t k = 0; k < r.kernels.size(); ++k) sum += r.reduction(k, 2);
+  const SweepAggregate agg = r.aggregate(2);
+  EXPECT_DOUBLE_EQ(agg.avg_reduction,
+                   sum / static_cast<double>(r.kernels.size()));
+  EXPECT_GT(agg.avg_reduction, 0.0);  // ZOLClite beats the baseline
+}
+
+TEST(Sweep, ConfigGridIsSwept) {
+  SweepSpec spec;
+  spec.kernels = {"fir"};
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
+  spec.configs = {
+      PipelineConfig{BranchResolveStage::kExecute, SpeculationPolicy::kRollback,
+                     true},
+      PipelineConfig{BranchResolveStage::kDecode, SpeculationPolicy::kGate,
+                     true}};
+  const auto report = run_sweep(spec);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report.value().cells.size(), 4u);
+  // Early branch resolution squashes strictly fewer wrong-path slots than
+  // EX resolution on the software-loop baseline (1 vs 2 per taken branch).
+  EXPECT_LT(report.value().at(0, 0, 1).stats.control_flush_slots,
+            report.value().at(0, 0, 0).stats.control_flush_slots);
+}
+
+TEST(Sweep, FindLooksUpByName) {
+  const auto report = run_sweep(small_spec());
+  ASSERT_TRUE(report.ok());
+  const ExperimentResult* cell =
+      report.value().find("fir", MachineKind::kZolcLite);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->kernel, "fir");
+  EXPECT_EQ(report.value().find("fir", MachineKind::kZolcFull), nullptr);
+  EXPECT_EQ(report.value().find("nope", MachineKind::kZolcLite), nullptr);
+}
+
+TEST(Sweep, PredecodeDoesNotChangeArchitecturalResults) {
+  const kernels::Kernel* kernel = kernels::find_kernel("matmul");
+  ASSERT_NE(kernel, nullptr);
+  for (const MachineKind machine :
+       {MachineKind::kXrDefault, MachineKind::kZolcFull}) {
+    const auto fast = run_experiment(*kernel, machine, {}, {}, 200'000'000,
+                                     /*predecode=*/true);
+    const auto slow = run_experiment(*kernel, machine, {}, {}, 200'000'000,
+                                     /*predecode=*/false);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(fast.value().stats.cycles, slow.value().stats.cycles);
+    EXPECT_EQ(fast.value().stats.instructions, slow.value().stats.instructions);
+    EXPECT_EQ(fast.value().stats.zolc_fetch_events,
+              slow.value().stats.zolc_fetch_events);
+    EXPECT_EQ(fast.value().zolc_stats.done_events,
+              slow.value().zolc_stats.done_events);
+  }
+}
+
+TEST(Sweep, MachinesForVariantsMapsAllVariants) {
+  const auto machines = machines_for_variants({zolc::ZolcVariant::kMicro,
+                                               zolc::ZolcVariant::kLite,
+                                               zolc::ZolcVariant::kFull});
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0], MachineKind::kUZolc);
+  EXPECT_EQ(machines[1], MachineKind::kZolcLite);
+  EXPECT_EQ(machines[2], MachineKind::kZolcFull);
+}
+
+TEST(Sweep, ThreadsFromArgs) {
+  const char* argv1[] = {"bench", "--threads=3"};
+  EXPECT_EQ(threads_from_args(2, const_cast<char**>(argv1)), 3u);
+  const char* argv2[] = {"bench"};
+  EXPECT_EQ(threads_from_args(1, const_cast<char**>(argv2)), 0u);
+  const char* argv3[] = {"bench", "--threads=bogus"};
+  EXPECT_EQ(threads_from_args(2, const_cast<char**>(argv3)), 0u);
+}
+
+}  // namespace
+}  // namespace zolcsim::harness
