@@ -61,7 +61,8 @@ const MicroPlan* ScanReport::best() const {
 }
 
 ScanReport scan_for_micro_loops(std::span<const Instruction> code,
-                                std::uint32_t base) {
+                                std::uint32_t base,
+                                const ScanOptions& options) {
   ScanReport report;
   const Cfg cfg(code, base);
   const LoopForest forest = find_loops(cfg);
@@ -133,8 +134,10 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
     }
 
     // Constant index initial and bound from the preheader.
-    const auto initial = find_constant_init(code, header_first, idx_reg);
-    const auto bound = find_constant_init(code, header_first, bound_reg);
+    const auto initial = find_constant_init(code, header_first, idx_reg,
+                                            options.init_window);
+    const auto bound = find_constant_init(code, header_first, bound_reg,
+                                          options.init_window);
     if (!initial || !bound) {
       reject(loop.header, "index/bound are not simple constants");
       continue;
@@ -143,7 +146,9 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
     // Safety: nothing inside the loop may write the index or the bound
     // (besides the patched update), no calls, and no branch may target the
     // patched tail (a path that skips the new end PC would fall out of the
-    // loop without a boundary event).
+    // loop without a boundary event). A re-materialization of the bound to
+    // the same constant (deep software nests recycle bound registers that
+    // way) is semantically a no-op and stays safe.
     bool safe = true;
     for (const unsigned block_id : loop.blocks) {
       const BasicBlock& block = cfg.blocks()[block_id];
@@ -160,7 +165,11 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
         }
         if (i == branch_idx || i == branch_idx - 1) continue;
         const auto dest = isa::dest_reg(instr);
-        if (dest && (*dest == idx_reg || *dest == bound_reg)) safe = false;
+        if (!dest || (*dest != idx_reg && *dest != bound_reg)) continue;
+        const bool bound_rematerialization =
+            *dest == bound_reg && instr.op == Opcode::kAddi && instr.rs == 0 &&
+            instr.imm == *bound;
+        if (!bound_rematerialization) safe = false;
       }
     }
     if (!safe) {

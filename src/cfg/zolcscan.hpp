@@ -19,6 +19,7 @@
 #ifndef ZOLCSIM_CFG_ZOLCSCAN_HPP
 #define ZOLCSIM_CFG_ZOLCSCAN_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,9 +53,24 @@ struct ScanReport {
   [[nodiscard]] const MicroPlan* best() const;
 };
 
+/// Tunable analysis limits. The defaults match the paper prototype; deriving
+/// them from a ZolcGeometry widens the constant-init scan window with the
+/// loop capacity, since every enclosing loop contributes prologue
+/// instructions between a constant's materialization and the loop header.
+struct ScanOptions {
+  unsigned init_window = 8;  ///< backward scan distance for constant inits
+
+  [[nodiscard]] static ScanOptions for_geometry(const zolc::ZolcGeometry& g) {
+    ScanOptions o;
+    o.init_window = std::max(8u, 4 * g.max_loops);
+    return o;
+  }
+};
+
 /// Scans `code` (loaded at `base`) for accelerable counted loops.
 [[nodiscard]] ScanReport scan_for_micro_loops(
-    std::span<const isa::Instruction> code, std::uint32_t base);
+    std::span<const isa::Instruction> code, std::uint32_t base,
+    const ScanOptions& options = {});
 
 /// Returns a copy of `code` with the plan's overhead instructions nop-ed.
 [[nodiscard]] std::vector<isa::Instruction> apply_patch(

@@ -1,6 +1,7 @@
 #include "codegen/lower.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <unordered_map>
 
 #include "common/bitutil.hpp"
@@ -88,7 +89,10 @@ bool uses_reserved_reg(const Instruction& instr) {
 
 Result<void> validate(std::span<const KNode> nodes, unsigned depth,
                       bool inside_loop) {
-  if (depth > 4) return Error{"loop nesting deeper than 4 is not supported"};
+  if (depth > kMaxLoweringDepth) {
+    return Error{"loop nesting deeper than " +
+                 std::to_string(kMaxLoweringDepth) + " is not supported"};
+  }
   for (const KNode& node : nodes) {
     if (const auto* kop = std::get_if<KOp>(&node)) {
       if (!kop->instr.valid()) return Error{"invalid instruction in kernel"};
@@ -179,13 +183,15 @@ bool bounds_fit_zolc_tables(const KFor& loop) {
          fits_signed(loop.step, 8);
 }
 
-/// Marks hardware loops according to the machine's policy. Returns notes
-/// about demotions.
+/// Marks hardware loops according to the machine's policy and the ZOLC
+/// geometry. Returns notes about demotions.
 std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
                                          MachineKind machine,
-                                         std::span<const KNode> roots) {
+                                         std::span<const KNode> roots,
+                                         const zolc::ZolcGeometry& geom) {
   std::vector<std::string> notes;
-  const auto demote_reason = [&notes](const LoopRec& rec, const char* why) {
+  const auto demote_reason = [&notes](const LoopRec& rec,
+                                      const std::string& why) {
     notes.push_back("loop (index " +
                     std::string(isa::reg_name(rec.node->index_reg)) +
                     ") lowered to software: " + why);
@@ -236,9 +242,10 @@ std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
       demote_reason(rec, "loop is under a conditional");
       continue;
     }
-    if (!full && rec.direct_break) {
+    if (rec.direct_break && (!full || geom.max_exits_per_loop == 0)) {
       rec.hw = false;
-      demote_reason(rec, "multi-exit loop needs ZOLCfull");
+      demote_reason(rec, full ? "geometry has no candidate-exit records"
+                              : "multi-exit loop needs ZOLCfull");
       continue;
     }
     if (!bounds_fit_zolc_tables(*rec.node)) {
@@ -279,14 +286,15 @@ std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
       demote_reason(rec, "enclosing loop is software");
     }
   }
-  // Capacity: at most 8 hardware loops; demote the deepest first (children
-  // of a demoted loop must follow, which deepest-first ordering guarantees).
+  // Capacity: at most geom.max_loops hardware loops; demote the deepest
+  // first (children of a demoted loop must follow, which deepest-first
+  // ordering guarantees).
   const auto hw_count = [&loops] {
     return static_cast<unsigned>(
         std::count_if(loops.begin(), loops.end(),
                       [](const LoopRec& r) { return r.hw; }));
   };
-  while (hw_count() > 8) {
+  while (hw_count() > geom.max_loops) {
     int deepest = -1;
     for (unsigned i = 0; i < loops.size(); ++i) {
       if (!loops[i].hw) continue;
@@ -297,7 +305,8 @@ std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
     }
     loops[static_cast<unsigned>(deepest)].hw = false;
     demote_reason(loops[static_cast<unsigned>(deepest)],
-                  "loop parameter table capacity (8) exceeded");
+                  "loop parameter table capacity (" +
+                      std::to_string(geom.max_loops) + ") exceeded");
   }
   int next_id = 0;
   for (LoopRec& rec : loops) {
@@ -310,6 +319,10 @@ std::vector<std::string> select_hw_loops(std::vector<LoopRec>& loops,
 
 struct LowerCtx {
   MachineKind machine = MachineKind::kXrDefault;
+  zolc::ZolcGeometry geom;  ///< effective ZOLC geometry (zolc machines)
+  /// Deep mode: the kernel nests deeper than the pool-register count, so
+  /// software loops recycle pool slots with bound re-materialization.
+  bool deep = false;
   std::vector<LoopRec>* loops = nullptr;  // null for pure-software lowering
   std::unordered_map<const KFor*, int> loop_index;
   struct PendingExit {
@@ -364,10 +377,40 @@ struct EmitEnv {
 void emit_nodes(Emitter& e, LowerCtx& ctx, std::span<const KNode> nodes,
                 EmitEnv env);
 
+/// True iff some descendant of `nodes` lowers to a software loop whose
+/// pool slot coincides with the slot of a loop `rel_depth` levels above
+/// (every loop level, hardware or software, advances the depth; only
+/// software loops touch pool registers).
+bool sw_descendant_reuses_slot(LowerCtx& ctx, std::span<const KNode> nodes,
+                               unsigned rel_depth) {
+  constexpr auto kPoolSlots = static_cast<unsigned>(std::size(kPoolRegs));
+  for (const KNode& node : nodes) {
+    if (const auto* kfor = std::get_if<KFor>(&node)) {
+      if (rel_depth % kPoolSlots == 0 && !is_hw(ctx, kfor)) return true;
+      if (sw_descendant_reuses_slot(ctx, kfor->body, rel_depth + 1)) {
+        return true;
+      }
+    } else if (const auto* kif = std::get_if<KIf>(&node)) {
+      if (sw_descendant_reuses_slot(ctx, kif->body, rel_depth)) return true;
+    }
+  }
+  return false;
+}
+
 void emit_sw_for(Emitter& e, LowerCtx& ctx, const KFor& loop, EmitEnv env) {
   ++ctx.sw_loops_emitted;
-  const std::uint8_t pool = kPoolRegs[env.depth];
-  const bool hrdwil = ctx.machine == MachineKind::kXrHrdwil;
+  constexpr auto kPoolSlots = static_cast<unsigned>(std::size(kPoolRegs));
+  // Deep mode recycles pool slots modulo the pool size. A loop whose slot
+  // is reused by a software descendant (4, 8, ... levels deeper)
+  // re-materializes its (constant) bound in the latch, making the clobber
+  // harmless; slots with no such descendant keep the plain form. dbne
+  // down-counters are live state and cannot be re-materialized, so deep
+  // nests always use the compare-and-branch form.
+  const std::uint8_t pool =
+      kPoolRegs[ctx.deep ? env.depth % kPoolSlots : env.depth];
+  const bool remat_bound =
+      ctx.deep && sw_descendant_reuses_slot(ctx, loop.body, 1);
+  const bool hrdwil = ctx.machine == MachineKind::kXrHrdwil && !ctx.deep;
   const bool maintain_index = !hrdwil || body_reads_reg(loop.body,
                                                         loop.index_reg);
   if (maintain_index) e.emit_li(loop.index_reg, loop.initial);
@@ -395,6 +438,10 @@ void emit_sw_for(Emitter& e, LowerCtx& ctx, const KFor& loop, EmitEnv env) {
     }
     e.emit_branch(b::dbne(pool, 0), head);
   } else {
+    // The re-materialization goes ahead of the update so the update/branch
+    // pair stays adjacent (the idiom zolcscan recognizes in compiled
+    // binaries).
+    if (remat_bound) e.emit_li(pool, loop.final);
     e.emit(b::addi(loop.index_reg, loop.index_reg, loop.step));
     if (loop.step > 0) {
       e.emit_branch(b::blt(loop.index_reg, pool, 0), head);
@@ -491,7 +538,8 @@ struct TaskPlan {
 
 struct ZolcPlan {
   std::vector<TaskPlan> tasks;  ///< task id -> plan (id 0 = entry task)
-  std::vector<zolc::ExitRecord> exit_records;  // index = bank*4 + slot
+  /// index = bank * geom.max_exits_per_loop + slot
+  std::vector<zolc::ExitRecord> exit_records;
   unsigned exit_count = 0;
 };
 
@@ -541,21 +589,23 @@ Result<ZolcPlan> build_task_plan(LowerCtx& ctx, std::span<const KNode> roots) {
       plan.tasks.push_back(TaskPlan{rec.body_end + 1, rec.after_boundary});
     }
   }
-  if (plan.tasks.size() > 32) {
-    return Error{"task selection LUT capacity (32) exceeded"};
+  if (plan.tasks.size() > ctx.geom.max_tasks) {
+    return Error{"task selection LUT capacity (" +
+                 std::to_string(ctx.geom.max_tasks) + ") exceeded"};
   }
 
   // Candidate-exit records (ZOLCfull).
-  plan.exit_records.assign(zolc::kFullExitRecords, zolc::ExitRecord{});
-  std::array<unsigned, 8> used{};
+  plan.exit_records.assign(ctx.geom.exit_record_count(), zolc::ExitRecord{});
+  std::vector<unsigned> used(ctx.geom.max_loops, 0);
   for (const LowerCtx::PendingExit& pe : ctx.exits) {
     const LoopRec& exiting = loops[static_cast<unsigned>(pe.exiting_loop)];
     const LoopRec& scope = loops[static_cast<unsigned>(pe.scope_loop)];
     ZS_ASSERT(exiting.hw && scope.hw);
     const auto bank = static_cast<unsigned>(scope.hw_id);
-    if (used[bank] >= 4) {
-      return Error{"more than 4 candidate exits for one loop (ZOLCfull "
-                   "record capacity)"};
+    if (used[bank] >= ctx.geom.max_exits_per_loop) {
+      return Error{"more than " +
+                   std::to_string(ctx.geom.max_exits_per_loop) +
+                   " candidate exits for one loop (exit record capacity)"};
     }
     zolc::ExitRecord rec;
     rec.branch_pc_ofs = 0;  // patched later (needs init length)
@@ -563,9 +613,9 @@ Result<ZolcPlan> build_task_plan(LowerCtx& ctx, std::span<const KNode> roots) {
                         ? static_cast<std::uint8_t>(exiting.after_task)
                         : 0;
     rec.deactivate = exiting.after_boundary < 0;
-    rec.reinit_mask = static_cast<std::uint8_t>(1u << exiting.hw_id);
+    rec.reinit_mask = 1u << exiting.hw_id;
     rec.valid = true;
-    plan.exit_records[bank * 4 + used[bank]] = rec;
+    plan.exit_records[bank * ctx.geom.max_exits_per_loop + used[bank]] = rec;
     // Remember which pending exit this record belongs to via exit_count
     // ordering: records are patched in the same order below.
     ++used[bank];
@@ -590,8 +640,9 @@ void emit_table_write(Emitter& e, Opcode op, std::uint8_t idx,
 }  // namespace
 
 Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
-                      std::uint32_t base) {
+                      std::uint32_t base, const zolc::ZolcGeometry& geometry) {
   if (auto v = validate(kernel, 0, false); !v.ok()) return v.error();
+  if (!geometry.valid()) return Error{"invalid ZOLC geometry"};
 
   Program prog;
   prog.base = base;
@@ -599,12 +650,15 @@ Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
 
   LowerCtx ctx;
   ctx.machine = machine;
+  ctx.deep = max_loop_depth(kernel) >
+             static_cast<unsigned>(std::size(kPoolRegs));
 
   std::vector<LoopRec> loops;
   const bool zolc_machine = machine_zolc_variant(machine).has_value();
   if (zolc_machine) {
+    ctx.geom = geometry.for_variant(*machine_zolc_variant(machine));
     collect_loops(kernel, -1, 0, false, loops);
-    prog.notes = select_hw_loops(loops, machine, kernel);
+    prog.notes = select_hw_loops(loops, machine, kernel, ctx.geom);
     ctx.loops = &loops;
     for (unsigned i = 0; i < loops.size(); ++i) {
       ctx.loop_index.emplace(loops[i].node, static_cast<int>(i));
@@ -695,12 +749,24 @@ Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
   const unsigned hw_count = ctx.hw_loops_emitted;
   const auto task_count = static_cast<unsigned>(plan.tasks.size());
   const unsigned exit_count = plan.exit_count;
+  // Each table write is 3 instructions; wide geometries need a second init
+  // word (zolw.ex1) per exit record.
+  const unsigned exit_words = ctx.geom.record_words();
   unsigned init_len =
-      3 * (2 * hw_count + 2 * task_count + exit_count) + hw_count + 2 + 1;
+      3 * (2 * hw_count + 2 * task_count + exit_words * exit_count) +
+      hw_count + 2 + 1;
   const int first_end =
       loops[static_cast<unsigned>(plan.tasks[0].boundary)].body_end;
   const unsigned pad = static_cast<unsigned>(std::max(0, 2 - first_end));
   init_len += pad;
+
+  // Every table PC field is a word offset of pc_ofs_bits; a program whose
+  // init + body outgrows the window would silently alias offsets (pack
+  // masks them), so reject it here with a diagnosable error instead.
+  if (init_len + body.value().size() - 1 > mask32(ctx.geom.pc_ofs_bits)) {
+    return Error{"program exceeds the geometry's PC-offset window (" +
+                 std::to_string(ctx.geom.pc_ofs_bits) + " bits)"};
+  }
 
   const auto rel_to_ofs = [init_len](int rel) {
     return static_cast<std::uint16_t>(init_len + static_cast<unsigned>(rel));
@@ -738,22 +804,27 @@ Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
     te.is_last = boundary.after_boundary < 0;
     te.valid = true;
     emit_table_write(init, Opcode::kZolwTe, static_cast<std::uint8_t>(t),
-                     te.pack());
+                     te.pack(ctx.geom));
     emit_table_write(init, Opcode::kZolwTs, static_cast<std::uint8_t>(t),
                      rel_to_ofs(tp.start));
   }
   // Candidate-exit records, patched with absolute offsets.
   {
-    std::array<unsigned, 8> used{};
+    std::vector<unsigned> used(ctx.geom.max_loops, 0);
     for (const LowerCtx::PendingExit& pe : ctx.exits) {
       const LoopRec& scope = loops[static_cast<unsigned>(pe.scope_loop)];
       const auto bank = static_cast<unsigned>(scope.hw_id);
       const unsigned slot = used[bank]++;
-      zolc::ExitRecord rec = plan.exit_records[bank * 4 + slot];
+      const unsigned idx = bank * ctx.geom.max_exits_per_loop + slot;
+      zolc::ExitRecord rec = plan.exit_records[idx];
       rec.branch_pc_ofs = rel_to_ofs(pe.branch_pos);
       emit_table_write(init, Opcode::kZolwEx0,
-                       static_cast<std::uint8_t>(bank * 4 + slot),
-                       rec.pack_lo());
+                       static_cast<std::uint8_t>(idx), rec.pack_lo(ctx.geom));
+      if (exit_words > 1) {
+        emit_table_write(init, Opcode::kZolwEx1,
+                         static_cast<std::uint8_t>(idx),
+                         rec.pack_hi(ctx.geom));
+      }
     }
   }
   // Index registers get their first-iteration values in software.

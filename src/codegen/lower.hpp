@@ -18,7 +18,10 @@
 //
 // The ZOLC lowerings emit the initialization instruction sequence (zolw.*,
 // zolon) ahead of the kernel body -- the paper's "initialization mode",
-// executed once outside the loop nest.
+// executed once outside the loop nest. Every ZOLC capacity decision (loop
+// parameter table size, task LUT size, exit records per loop) is driven by
+// the ZolcGeometry argument, so the same kernel lowers against any
+// controller configuration.
 #ifndef ZOLCSIM_CODEGEN_LOWER_HPP
 #define ZOLCSIM_CODEGEN_LOWER_HPP
 
@@ -27,6 +30,7 @@
 #include "codegen/kir.hpp"
 #include "codegen/program.hpp"
 #include "common/result.hpp"
+#include "zolc/config.hpp"
 
 namespace zolcsim::codegen {
 
@@ -36,14 +40,23 @@ inline constexpr std::uint8_t kPoolRegs[4] = {24, 25, 26, 27};
 inline constexpr std::uint8_t kInitScratchReg = 24;
 inline constexpr std::uint8_t kInitBaseReg = 25;
 
-/// Lowers `kernel` for `machine`. The resulting program is complete and
-/// runnable (terminated by halt) at `base`. Returns an Error for malformed
-/// kernels (zero-trip loops, reserved-register use, raw control flow in
-/// KOps, index registers written by the body, nesting too deep, or ZOLC
-/// capacity overruns that have no software fallback).
-[[nodiscard]] Result<Program> lower(std::span<const KNode> kernel,
-                                    MachineKind machine,
-                                    std::uint32_t base = 0x1000);
+/// Hard ceiling on loop nesting accepted by the lowering. Software nests
+/// deeper than the pool-register count recycle pool slots by
+/// re-materializing the (constant) bound in every latch, so the ceiling is
+/// a sanity bound, not a register-allocation limit.
+inline constexpr unsigned kMaxLoweringDepth = 32;
+
+/// Lowers `kernel` for `machine` against a ZOLC of `geometry` (ignored for
+/// non-ZOLC machines; the default is the paper's prototype geometry). The
+/// resulting program is complete and runnable (terminated by halt) at
+/// `base`. Returns an Error for malformed kernels (zero-trip loops,
+/// reserved-register use, raw control flow in KOps, index registers written
+/// by the body, nesting too deep, or ZOLC capacity overruns that have no
+/// software fallback).
+[[nodiscard]] Result<Program> lower(
+    std::span<const KNode> kernel, MachineKind machine,
+    std::uint32_t base = 0x1000,
+    const zolc::ZolcGeometry& geometry = zolc::ZolcGeometry{});
 
 }  // namespace zolcsim::codegen
 

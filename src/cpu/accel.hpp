@@ -35,15 +35,47 @@ struct AccelEvent {
   std::vector<RfWrite> rf_writes;
 };
 
+/// Capacity of the per-loop snapshot state. Matches the largest loop table
+/// any ZolcGeometry may declare (zolc::kMaxGeometryLoops).
+inline constexpr unsigned kMaxAccelLoops = 32;
+
 /// Architectural controller state that changes in active mode; saved before
 /// each speculative fetch-time event and restored on wrong-path flushes.
+/// Snapshots sit on the simulators' hot paths (they ride the pipeline
+/// latches while a fetch event is in flight), so copies touch only the
+/// `loop_count` live entries, not the full worst-case array; entries at
+/// index >= loop_count are uninitialized and must never be read.
 struct AccelSnapshot {
-  std::array<std::int32_t, 8> loop_current{};
+  std::array<std::int32_t, kMaxAccelLoops> loop_current;
   std::int32_t micro_current = 0;
+  std::uint8_t loop_count = 0;  ///< live prefix of loop_current
   std::uint8_t current_task = 0;
   bool active = false;
 
-  friend bool operator==(const AccelSnapshot&, const AccelSnapshot&) = default;
+  AccelSnapshot() noexcept {}
+  AccelSnapshot(const AccelSnapshot& other) noexcept { *this = other; }
+  AccelSnapshot& operator=(const AccelSnapshot& other) noexcept {
+    for (std::uint8_t i = 0; i < other.loop_count; ++i) {
+      loop_current[i] = other.loop_current[i];
+    }
+    micro_current = other.micro_current;
+    loop_count = other.loop_count;
+    current_task = other.current_task;
+    active = other.active;
+    return *this;
+  }
+
+  friend bool operator==(const AccelSnapshot& a,
+                         const AccelSnapshot& b) noexcept {
+    if (a.loop_count != b.loop_count || a.micro_current != b.micro_current ||
+        a.current_task != b.current_task || a.active != b.active) {
+      return false;
+    }
+    for (std::uint8_t i = 0; i < a.loop_count; ++i) {
+      if (a.loop_current[i] != b.loop_current[i]) return false;
+    }
+    return true;
+  }
 };
 
 class LoopAccelerator {

@@ -1,6 +1,7 @@
-// Shared functional semantics: pure ALU evaluation and branch decisions used
-// identically by the ISS (golden model) and the pipeline's EX stage, so the
-// two simulators cannot diverge on instruction behaviour.
+// Shared functional semantics: pure ALU evaluation, branch decisions, and
+// load/store memory-op behaviour used identically by the ISS (golden model)
+// and the pipeline (EX and MEM stages), so the two simulators cannot diverge
+// on instruction behaviour.
 #ifndef ZOLCSIM_CPU_EXEC_HPP
 #define ZOLCSIM_CPU_EXEC_HPP
 
@@ -8,7 +9,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "isa/instruction.hpp"
+#include "mem/memory.hpp"
 
 namespace zolcsim::cpu {
 
@@ -42,6 +45,52 @@ struct AluInputs {
 /// True iff `op` produces its operand `b` from the immediate field
 /// (I-type ALU and memory address computation).
 [[nodiscard]] bool uses_immediate_operand(isa::Opcode op);
+
+/// Performs the load described by `op` at byte address `addr` and returns
+/// the register write-back value (width and sign extension per opcode).
+/// Precondition: op is a load. Inline: this sits on both simulators' hot
+/// paths (ISS step and pipeline MEM stage).
+[[nodiscard]] inline std::int32_t mem_load(isa::Opcode op,
+                                           const mem::Memory& memory,
+                                           std::uint32_t addr) {
+  using O = isa::Opcode;
+  switch (op) {
+    case O::kLb:
+      return static_cast<std::int8_t>(memory.read8(addr));
+    case O::kLbu:
+      return memory.read8(addr);
+    case O::kLh:
+      return static_cast<std::int16_t>(memory.read16(addr));
+    case O::kLhu:
+      return memory.read16(addr);
+    case O::kLw:
+      return static_cast<std::int32_t>(memory.read32(addr));
+    default:
+      ZS_UNREACHABLE("mem_load: not a load opcode");
+  }
+}
+
+/// Performs the store described by `op` at byte address `addr` with register
+/// value `value` (truncated to the access width). Precondition: op is a
+/// store.
+inline void mem_store(isa::Opcode op, mem::Memory& memory, std::uint32_t addr,
+                      std::int32_t value) {
+  using O = isa::Opcode;
+  const auto uv = static_cast<std::uint32_t>(value);
+  switch (op) {
+    case O::kSb:
+      memory.write8(addr, static_cast<std::uint8_t>(uv));
+      break;
+    case O::kSh:
+      memory.write16(addr, static_cast<std::uint16_t>(uv));
+      break;
+    case O::kSw:
+      memory.write32(addr, uv);
+      break;
+    default:
+      ZS_UNREACHABLE("mem_store: not a store opcode");
+  }
+}
 
 }  // namespace zolcsim::cpu
 

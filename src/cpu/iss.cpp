@@ -88,34 +88,13 @@ void Iss::step() {
     case Format::kMem: {
       const auto addr = static_cast<std::uint32_t>(
           rs_val + instr.imm);
-      switch (instr.op) {
-        case Opcode::kLb:
-          regs_.write(instr.rt, static_cast<std::int8_t>(mem_.read8(addr)));
-          break;
-        case Opcode::kLbu:
-          regs_.write(instr.rt, mem_.read8(addr));
-          break;
-        case Opcode::kLh:
-          regs_.write(instr.rt, static_cast<std::int16_t>(mem_.read16(addr)));
-          break;
-        case Opcode::kLhu:
-          regs_.write(instr.rt, mem_.read16(addr));
-          break;
-        case Opcode::kLw:
-          regs_.write(instr.rt,
-                      static_cast<std::int32_t>(mem_.read32(addr)));
-          break;
-        case Opcode::kSb:
-          mem_.write8(addr, static_cast<std::uint8_t>(rt_val));
-          break;
-        case Opcode::kSh:
-          mem_.write16(addr, static_cast<std::uint16_t>(rt_val));
-          break;
-        case Opcode::kSw:
-          mem_.write32(addr, static_cast<std::uint32_t>(rt_val));
-          break;
-        default:
-          ZS_UNREACHABLE("memory format without memory opcode");
+      const isa::OpcodeInfo& minfo = isa::opcode_info(instr.op);
+      if (minfo.is_load) {
+        regs_.write(instr.rt, mem_load(instr.op, mem_, addr));
+      } else if (minfo.is_store) {
+        mem_store(instr.op, mem_, addr, rt_val);
+      } else {
+        ZS_UNREACHABLE("memory format without memory opcode");
       }
       break;
     }

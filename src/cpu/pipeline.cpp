@@ -101,43 +101,13 @@ void Pipeline::cycle() {
     wb.dest = cur.ex_mem.dest;
     wb.value = cur.ex_mem.alu;
     if (cur.ex_mem.is_load) {
-      const auto addr = static_cast<std::uint32_t>(cur.ex_mem.alu);
-      switch (cur.ex_mem.instr.op) {
-        case Opcode::kLb:
-          wb.value = static_cast<std::int8_t>(mem_.read8(addr));
-          break;
-        case Opcode::kLbu:
-          wb.value = mem_.read8(addr);
-          break;
-        case Opcode::kLh:
-          wb.value = static_cast<std::int16_t>(mem_.read16(addr));
-          break;
-        case Opcode::kLhu:
-          wb.value = mem_.read16(addr);
-          break;
-        case Opcode::kLw:
-          wb.value = static_cast<std::int32_t>(mem_.read32(addr));
-          break;
-        default:
-          ZS_UNREACHABLE("load without load opcode");
-      }
+      wb.value = mem_load(cur.ex_mem.instr.op, mem_,
+                          static_cast<std::uint32_t>(cur.ex_mem.alu));
       ++stats_.loads;
     } else if (cur.ex_mem.is_store) {
-      const auto addr = static_cast<std::uint32_t>(cur.ex_mem.alu);
-      const auto value = static_cast<std::uint32_t>(cur.ex_mem.store_val);
-      switch (cur.ex_mem.instr.op) {
-        case Opcode::kSb:
-          mem_.write8(addr, static_cast<std::uint8_t>(value));
-          break;
-        case Opcode::kSh:
-          mem_.write16(addr, static_cast<std::uint16_t>(value));
-          break;
-        case Opcode::kSw:
-          mem_.write32(addr, value);
-          break;
-        default:
-          ZS_UNREACHABLE("store without store opcode");
-      }
+      mem_store(cur.ex_mem.instr.op, mem_,
+                static_cast<std::uint32_t>(cur.ex_mem.alu),
+                cur.ex_mem.store_val);
       ++stats_.stores;
     }
     next.mem_wb = wb;

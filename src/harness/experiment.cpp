@@ -9,8 +9,14 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
                                         const kernels::KernelEnv& env,
                                         cpu::PipelineConfig config,
                                         std::uint64_t max_cycles,
-                                        bool predecode) {
-  auto lowered = codegen::lower(kernel.build(env), machine, env.code_base);
+                                        bool predecode,
+                                        const zolc::ZolcGeometry& geometry) {
+  if (!geometry.valid()) {
+    return Error{std::string(kernel.name()) + ": invalid ZOLC geometry " +
+                 geometry.label()};
+  }
+  auto lowered =
+      codegen::lower(kernel.build(env), machine, env.code_base, geometry);
   if (!lowered.ok()) {
     return Error{std::string(kernel.name()) + " (" +
                  std::string(codegen::machine_name(machine)) +
@@ -24,7 +30,7 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
 
   std::unique_ptr<zolc::ZolcController> controller;
   if (const auto variant = codegen::machine_zolc_variant(machine)) {
-    controller = std::make_unique<zolc::ZolcController>(*variant);
+    controller = std::make_unique<zolc::ZolcController>(*variant, geometry);
   }
 
   cpu::Pipeline pipe(memory, config);
@@ -48,6 +54,7 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
   ExperimentResult result;
   result.kernel = std::string(kernel.name());
   result.machine = machine;
+  result.geometry = geometry;
   result.stats = pipe.stats();
   if (controller) result.zolc_stats = controller->zolc_stats();
   result.init_instructions = program.init_instructions;

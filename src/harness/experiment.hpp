@@ -18,6 +18,7 @@ namespace zolcsim::harness {
 struct ExperimentResult {
   std::string kernel;
   codegen::MachineKind machine = codegen::MachineKind::kXrDefault;
+  zolc::ZolcGeometry geometry;    ///< ZOLC geometry the cell ran against
   cpu::PipelineStats stats;
   zolc::ZolcStats zolc_stats;     ///< zeros for non-ZOLC machines
   unsigned init_instructions = 0; ///< ZOLC init prologue length
@@ -31,11 +32,14 @@ struct ExperimentResult {
 /// lowering errors are returned as Error (a failed verification is a bug,
 /// never a reportable data point). `predecode` selects the predecoded
 /// instruction-image fetch fast path (identical architectural behaviour;
-/// off is kept for throughput comparisons).
+/// off is kept for throughput comparisons). `geometry` sizes the ZOLC
+/// controller and drives the lowering's capacity decisions (ignored for
+/// non-ZOLC machines; the default is the paper prototype).
 [[nodiscard]] Result<ExperimentResult> run_experiment(
     const kernels::Kernel& kernel, codegen::MachineKind machine,
     const kernels::KernelEnv& env = {}, cpu::PipelineConfig config = {},
-    std::uint64_t max_cycles = 200'000'000, bool predecode = true);
+    std::uint64_t max_cycles = 200'000'000, bool predecode = true,
+    const zolc::ZolcGeometry& geometry = zolc::ZolcGeometry{});
 
 /// Percentage cycle reduction of `cycles` vs `baseline` (paper's metric).
 [[nodiscard]] double percent_reduction(std::uint64_t baseline,

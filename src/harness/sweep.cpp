@@ -12,9 +12,12 @@ namespace {
 
 /// Default-constructible per-cell outcome so workers can write results into
 /// preallocated slots without synchronization. kNotRun marks cells skipped
-/// by the early-abort after another cell failed.
+/// by the early-abort after another cell failed; kCopyGeometryZero marks
+/// cells of geometry-independent (non-ZOLC) machines at geometry index > 0,
+/// which are filled from the geometry-0 cell after the pool joins instead
+/// of re-simulating an identical experiment.
 struct CellOutcome {
-  enum class State : std::uint8_t { kNotRun, kOk, kError };
+  enum class State : std::uint8_t { kNotRun, kOk, kError, kCopyGeometryZero };
   State state = State::kNotRun;
   ExperimentResult result;
   Error error;
@@ -70,49 +73,64 @@ std::string config_name(const cpu::PipelineConfig& config) {
 
 const ExperimentResult& SweepReport::at(std::size_t kernel,
                                         std::size_t machine,
-                                        std::size_t config) const {
+                                        std::size_t config,
+                                        std::size_t geometry) const {
   ZS_EXPECTS(kernel < kernels.size() && machine < machines.size() &&
-             config < configs.size());
-  return cells[(kernel * machines.size() + machine) * configs.size() + config]
+             config < configs.size() && geometry < geometries.size());
+  return cells[((kernel * machines.size() + machine) * configs.size() +
+                config) *
+                   geometries.size() +
+               geometry]
       .result;
 }
 
 const ExperimentResult* SweepReport::find(std::string_view kernel,
                                           codegen::MachineKind machine,
-                                          std::size_t config) const {
+                                          std::size_t config,
+                                          std::size_t geometry) const {
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     if (kernels[k] != kernel) continue;
     for (std::size_t m = 0; m < machines.size(); ++m) {
       if (machines[m] != machine) continue;
-      if (config >= configs.size()) return nullptr;
-      return &at(k, m, config);
+      if (config >= configs.size() || geometry >= geometries.size()) {
+        return nullptr;
+      }
+      return &at(k, m, config, geometry);
     }
   }
   return nullptr;
 }
 
 std::uint64_t SweepReport::cycles(std::size_t kernel, std::size_t machine,
-                                  std::size_t config) const {
-  return at(kernel, machine, config).stats.cycles;
+                                  std::size_t config,
+                                  std::size_t geometry) const {
+  return at(kernel, machine, config, geometry).stats.cycles;
 }
 
 double SweepReport::reduction(std::size_t kernel, std::size_t machine,
-                              std::size_t config) const {
+                              std::size_t config,
+                              std::size_t geometry) const {
   for (std::size_t m = 0; m < machines.size(); ++m) {
     if (machines[m] == baseline) {
-      return percent_reduction(cycles(kernel, m, config),
-                               cycles(kernel, machine, config));
+      return percent_reduction(cycles(kernel, m, config, geometry),
+                               cycles(kernel, machine, config, geometry));
     }
   }
   return 0.0;
 }
 
+bool SweepReport::has_geometry_axis() const {
+  return geometries.size() > 1 ||
+         (geometries.size() == 1 && !(geometries[0] == zolc::ZolcGeometry{}));
+}
+
 SweepAggregate SweepReport::aggregate(std::size_t machine,
-                                      std::size_t config) const {
+                                      std::size_t config,
+                                      std::size_t geometry) const {
   SweepAggregate agg;
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    const ExperimentResult& r = at(k, machine, config);
-    const double red = reduction(k, machine, config);
+    const ExperimentResult& r = at(k, machine, config, geometry);
+    const double red = reduction(k, machine, config, geometry);
     agg.avg_reduction += red;
     agg.max_reduction = std::max(agg.max_reduction, red);
     agg.total_cycles += r.stats.cycles;
@@ -130,30 +148,43 @@ SweepAggregate SweepReport::aggregate(std::size_t machine,
 }
 
 std::string SweepReport::to_csv() const {
-  CsvWriter csv({"kernel", "machine", "config", "cycles", "instructions",
-                 "reduction_pct", "init_instructions", "hw_loops", "sw_loops",
-                 "code_words", "continue_events", "done_events",
-                 "table_writes", "gate_stalls", "load_use_stalls",
-                 "control_flush_slots"});
+  const bool with_geometry = has_geometry_axis();
+  std::vector<std::string> header = {"kernel", "machine", "config"};
+  if (with_geometry) header.push_back("geometry");
+  for (const char* column :
+       {"cycles", "instructions", "reduction_pct", "init_instructions",
+        "hw_loops", "sw_loops", "code_words", "continue_events",
+        "done_events", "table_writes", "gate_stalls", "load_use_stalls",
+        "control_flush_slots"}) {
+    header.emplace_back(column);
+  }
+  CsvWriter csv(header);
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     for (std::size_t m = 0; m < machines.size(); ++m) {
       for (std::size_t c = 0; c < configs.size(); ++c) {
-        const ExperimentResult& r = at(k, m, c);
-        csv.add_row({kernels[k],
-                     std::string(codegen::machine_name(machines[m])),
-                     config_name(configs[c]),
-                     std::to_string(r.stats.cycles),
-                     std::to_string(r.stats.instructions),
-                     format_fixed(reduction(k, m, c), 4),
-                     std::to_string(r.init_instructions),
-                     std::to_string(r.hw_loops), std::to_string(r.sw_loops),
-                     std::to_string(r.code_words),
-                     std::to_string(r.zolc_stats.continue_events),
-                     std::to_string(r.zolc_stats.done_events),
-                     std::to_string(r.zolc_stats.table_writes),
-                     std::to_string(r.stats.gate_stalls),
-                     std::to_string(r.stats.load_use_stalls),
-                     std::to_string(r.stats.control_flush_slots)});
+        for (std::size_t g = 0; g < geometries.size(); ++g) {
+          const ExperimentResult& r = at(k, m, c, g);
+          std::vector<std::string> row = {
+              kernels[k], std::string(codegen::machine_name(machines[m])),
+              config_name(configs[c])};
+          if (with_geometry) row.push_back(geometries[g].label());
+          for (const std::string& value :
+               {std::to_string(r.stats.cycles),
+                std::to_string(r.stats.instructions),
+                format_fixed(reduction(k, m, c, g), 4),
+                std::to_string(r.init_instructions),
+                std::to_string(r.hw_loops), std::to_string(r.sw_loops),
+                std::to_string(r.code_words),
+                std::to_string(r.zolc_stats.continue_events),
+                std::to_string(r.zolc_stats.done_events),
+                std::to_string(r.zolc_stats.table_writes),
+                std::to_string(r.stats.gate_stalls),
+                std::to_string(r.stats.load_use_stalls),
+                std::to_string(r.stats.control_flush_slots)}) {
+            row.push_back(value);
+          }
+          csv.add_row(std::move(row));
+        }
       }
     }
   }
@@ -161,6 +192,7 @@ std::string SweepReport::to_csv() const {
 }
 
 std::string SweepReport::to_json() const {
+  const bool with_geometry = has_geometry_axis();
   std::string out = "{\n  \"baseline\": \"";
   out += codegen::machine_name(baseline);
   out += "\",\n  \"cells\": [\n";
@@ -168,24 +200,32 @@ std::string SweepReport::to_json() const {
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     for (std::size_t m = 0; m < machines.size(); ++m) {
       for (std::size_t c = 0; c < configs.size(); ++c) {
-        const ExperimentResult& r = at(k, m, c);
-        if (!first) out += ",\n";
-        first = false;
-        out += "    {\"kernel\": \"" + json_escape(kernels[k]) +
-               "\", \"machine\": \"" +
-               std::string(codegen::machine_name(machines[m])) +
-               "\", \"config\": \"" + json_escape(config_name(configs[c])) +
-               "\", \"cycles\": " + std::to_string(r.stats.cycles) +
-               ", \"instructions\": " + std::to_string(r.stats.instructions) +
-               ", \"reduction_pct\": " + format_fixed(reduction(k, m, c), 4) +
-               ", \"init_instructions\": " +
-               std::to_string(r.init_instructions) +
-               ", \"hw_loops\": " + std::to_string(r.hw_loops) +
-               ", \"sw_loops\": " + std::to_string(r.sw_loops) +
-               ", \"continue_events\": " +
-               std::to_string(r.zolc_stats.continue_events) +
-               ", \"done_events\": " +
-               std::to_string(r.zolc_stats.done_events) + "}";
+        for (std::size_t g = 0; g < geometries.size(); ++g) {
+          const ExperimentResult& r = at(k, m, c, g);
+          if (!first) out += ",\n";
+          first = false;
+          out += "    {\"kernel\": \"" + json_escape(kernels[k]) +
+                 "\", \"machine\": \"" +
+                 std::string(codegen::machine_name(machines[m])) +
+                 "\", \"config\": \"" + json_escape(config_name(configs[c])) +
+                 "\", ";
+          if (with_geometry) {
+            out += "\"geometry\": \"" + geometries[g].label() + "\", ";
+          }
+          out += "\"cycles\": " + std::to_string(r.stats.cycles) +
+                 ", \"instructions\": " +
+                 std::to_string(r.stats.instructions) +
+                 ", \"reduction_pct\": " +
+                 format_fixed(reduction(k, m, c, g), 4) +
+                 ", \"init_instructions\": " +
+                 std::to_string(r.init_instructions) +
+                 ", \"hw_loops\": " + std::to_string(r.hw_loops) +
+                 ", \"sw_loops\": " + std::to_string(r.sw_loops) +
+                 ", \"continue_events\": " +
+                 std::to_string(r.zolc_stats.continue_events) +
+                 ", \"done_events\": " +
+                 std::to_string(r.zolc_stats.done_events) + "}";
+        }
       }
     }
   }
@@ -219,10 +259,21 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
   report.configs = spec.configs.empty()
                        ? std::vector<cpu::PipelineConfig>{cpu::PipelineConfig{}}
                        : spec.configs;
+  report.geometries =
+      spec.geometries.empty()
+          ? std::vector<zolc::ZolcGeometry>{zolc::ZolcGeometry{}}
+          : spec.geometries;
+  for (const zolc::ZolcGeometry& geometry : report.geometries) {
+    if (!geometry.valid()) {
+      return Error{"sweep: invalid ZOLC geometry " + geometry.label()};
+    }
+  }
 
   const std::size_t n_machines = report.machines.size();
   const std::size_t n_configs = report.configs.size();
-  const std::size_t n_cells = report.kernels.size() * n_machines * n_configs;
+  const std::size_t n_geoms = report.geometries.size();
+  const std::size_t n_cells =
+      report.kernels.size() * n_machines * n_configs * n_geoms;
   std::vector<CellOutcome> outcomes(n_cells);
 
   // Each worker claims cell indices from a shared counter and writes only
@@ -235,15 +286,26 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
     for (std::size_t i = next.fetch_add(1);
          i < n_cells && !failed.load(std::memory_order_relaxed);
          i = next.fetch_add(1)) {
-      const std::size_t k = i / (n_machines * n_configs);
-      const std::size_t m = (i / n_configs) % n_machines;
-      const std::size_t c = i % n_configs;
+      const std::size_t k = i / (n_machines * n_configs * n_geoms);
+      const std::size_t m = (i / (n_configs * n_geoms)) % n_machines;
+      const std::size_t c = (i / n_geoms) % n_configs;
+      const std::size_t g = i % n_geoms;
       CellOutcome& out = outcomes[i];
+      // Machines that ignore the geometry (non-ZOLC, and uZOLC whose single
+      // loop is fixed) would repeat the g == 0 simulation exactly at every
+      // other geometry point, so fill those cells by copy afterwards.
+      const auto cell_variant =
+          codegen::machine_zolc_variant(report.machines[m]);
+      if (g > 0 && (!cell_variant.has_value() ||
+                    *cell_variant == zolc::ZolcVariant::kMicro)) {
+        out.state = CellOutcome::State::kCopyGeometryZero;
+        continue;
+      }
       try {
         auto result = run_experiment(*kernels::find_kernel(report.kernels[k]),
                                      report.machines[m], spec.env,
                                      report.configs[c], spec.max_cycles,
-                                     spec.predecode);
+                                     spec.predecode, report.geometries[g]);
         if (result.ok()) {
           out.state = CellOutcome::State::kOk;
           out.result = std::move(result).value();
@@ -285,11 +347,18 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
   }
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
+    if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {
+      const std::size_t g = i % n_geoms;
+      outcomes[i].result = outcomes[i - g].result;
+      outcomes[i].result.geometry = report.geometries[g];
+      outcomes[i].state = CellOutcome::State::kOk;
+    }
     ZS_ASSERT(outcomes[i].state == CellOutcome::State::kOk);
     SweepCell cell;
-    cell.kernel = i / (n_machines * n_configs);
-    cell.machine = (i / n_configs) % n_machines;
-    cell.config = i % n_configs;
+    cell.kernel = i / (n_machines * n_configs * n_geoms);
+    cell.machine = (i / (n_configs * n_geoms)) % n_machines;
+    cell.config = (i / n_geoms) % n_configs;
+    cell.geometry = i % n_geoms;
     cell.result = std::move(outcomes[i].result);
     report.cells.push_back(std::move(cell));
   }

@@ -45,10 +45,17 @@ class Kernel {
                                             const mem::Memory& memory) const = 0;
 };
 
-/// All 12 kernels, in the order reported by the benchmark harness.
+/// The 12 paper-suite kernels, in the order reported by the benchmark
+/// harness. Kept stable so the paper-reproduction benches are byte-stable.
 [[nodiscard]] const std::vector<std::unique_ptr<Kernel>>& kernel_registry();
 
-/// Lookup by name; nullptr if unknown.
+/// Extended kernels beyond the paper suite (deep/irregular loop structures
+/// used by the geometry design-space exploration); not part of the default
+/// sweep when SweepSpec.kernels is empty.
+[[nodiscard]] const std::vector<std::unique_ptr<Kernel>>&
+extended_kernel_registry();
+
+/// Lookup by name across both registries; nullptr if unknown.
 [[nodiscard]] const Kernel* find_kernel(std::string_view name);
 
 /// Deterministic pseudo-random generator for input data (LCG).

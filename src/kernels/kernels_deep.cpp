@@ -1,0 +1,279 @@
+// Deep / irregular loop-structure kernels: the extended suite exercising
+// ZOLC geometries beyond the paper prototype. tiled_mm needs 6 loop levels
+// (possible at the paper geometry now that nesting is not capped at the
+// pool-register count), deepnest10 needs 10 (an extended geometry to be
+// fully hardware-managed), and wavelet4 stresses task sequencing with many
+// sibling loops of different trip counts.
+#include "kernels/kernels.hpp"
+#include "kernels/kernels_impl.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace zolcsim::kernels {
+
+namespace {
+
+namespace b = isa::build;
+using codegen::KernelBuilder;
+using codegen::KNode;
+using detail::check_words;
+using detail::wadd;
+using detail::wmul;
+
+// ---------------- tiled_mm ----------------
+// Blocked matrix multiply C = A x B (DxD, T=4 tiles): the classic 6-deep
+// ii/jj/kk/i/j/k nest, with the innermost k loop accumulating in a register
+// and C[row][col] updated in memory once per (ii,jj,kk,i,j).
+
+class TiledMm final : public Kernel {
+ public:
+  std::string_view name() const override { return "tiled_mm"; }
+  std::string_view description() const override {
+    return "blocked matrix multiply DxD, T=4 (6-deep nest)";
+  }
+
+  static constexpr unsigned kTile = 4;
+  static unsigned d(const KernelEnv& env) { return 8 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto dim = static_cast<std::int32_t>(d(env));
+    const auto tiles = static_cast<std::int32_t>(d(env) / kTile);
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(20, static_cast<std::int32_t>(env.in2_base));
+    kb.li(9, static_cast<std::int32_t>(env.out_base));
+    kb.li(22, dim * 4);  // row stride in bytes
+    kb.for_count(1, 0, tiles, 1, [&] {          // ii
+      kb.for_count(2, 0, tiles, 1, [&] {        // jj
+        kb.for_count(3, 0, tiles, 1, [&] {      // kk
+          kb.for_count(4, 0, kTile, 1, [&] {    // i
+            kb.for_count(5, 0, kTile, 1, [&] {  // j
+              kb.op(b::sll(10, 1, 2));
+              kb.op(b::add(10, 10, 4));         // row = ii*T + i
+              kb.op(b::sll(11, 2, 2));
+              kb.op(b::add(11, 11, 5));         // col = jj*T + j
+              kb.op(b::mul(12, 10, 22));
+              kb.op(b::sll(13, 11, 2));
+              kb.op(b::add(12, 12, 13));
+              kb.op(b::add(12, 12, 9));         // &C[row][col]
+              kb.op(b::lw(16, 0, 12));          // running C value
+              kb.for_count(6, 0, kTile, 1, [&] {  // k
+                kb.op(b::sll(13, 3, 2));
+                kb.op(b::add(13, 13, 6));       // dep = kk*T + k
+                kb.op(b::mul(14, 10, 22));
+                kb.op(b::sll(15, 13, 2));
+                kb.op(b::add(14, 14, 15));
+                kb.op(b::add(14, 14, 19));      // &A[row][dep]
+                kb.op(b::lw(17, 0, 14));
+                kb.op(b::mul(14, 13, 22));
+                kb.op(b::sll(15, 11, 2));
+                kb.op(b::add(14, 14, 15));
+                kb.op(b::add(14, 14, 20));      // &B[dep][col]
+                kb.op(b::lw(18, 0, 14));
+                kb.op(b::mac(16, 17, 18));
+              });
+              kb.op(b::sw(16, 0, 12));
+            });
+          });
+        });
+      });
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 13);
+    const unsigned dim = d(env);
+    for (unsigned i = 0; i < dim * dim; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-100, 100)));
+      memory.write32(env.in2_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-100, 100)));
+      memory.write32(env.out_base + i * 4, 0);  // C starts zeroed
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 13);
+    const unsigned dim = d(env);
+    std::vector<std::int32_t> a(dim * dim), bm(dim * dim);
+    for (unsigned i = 0; i < dim * dim; ++i) {
+      a[i] = rng.range(-100, 100);
+      bm[i] = rng.range(-100, 100);
+    }
+    std::vector<std::int32_t> c(dim * dim);
+    for (unsigned i = 0; i < dim; ++i) {
+      for (unsigned j = 0; j < dim; ++j) {
+        std::int32_t acc = 0;
+        for (unsigned k = 0; k < dim; ++k) {
+          acc = wadd(acc, wmul(a[i * dim + k], bm[k * dim + j]));
+        }
+        c[i * dim + j] = acc;
+      }
+    }
+    return check_words(memory, env.out_base, c, "tiled_mm");
+  }
+};
+
+// ---------------- deepnest10 ----------------
+// A 10-deep blocked accumulation nest (nine 2-trip levels around a 4-trip
+// innermost loop = 2048 streamed elements): the smallest kernel that needs
+// more than the paper's 8 loop entries to run fully hardware-managed.
+
+class DeepNest10 final : public Kernel {
+ public:
+  std::string_view name() const override { return "deepnest10"; }
+  std::string_view description() const override {
+    return "10-deep blocked sum/max reduction (2048 elements)";
+  }
+
+  static constexpr unsigned kElements = 2048;  // 2^9 * 4
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    KernelBuilder kb;
+    kb.li(11, static_cast<std::int32_t>(env.in_base));  // stream pointer
+    kb.li(16, 0);                                       // sum
+    kb.li(17, -32768);                                  // running max
+    const std::function<void(unsigned)> nest = [&](unsigned level) {
+      if (level == 10) {
+        kb.op(b::lw(12, 0, 11));
+        kb.op(b::add(16, 16, 12));
+        kb.op(b::max(17, 17, 12));
+        kb.op(b::addi(11, 11, 4));
+        return;
+      }
+      const std::int32_t trip = level == 9 ? 4 : 2;
+      kb.for_count(static_cast<std::uint8_t>(level + 1), 0, trip, 1,
+                   [&] { nest(level + 1); });
+    };
+    nest(0);
+    kb.li(13, static_cast<std::int32_t>(env.out_base));
+    kb.op(b::sw(16, 0, 13));
+    kb.op(b::sw(17, 4, 13));
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 14);
+    for (unsigned i = 0; i < kElements; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-1000, 1000)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 14);
+    std::int32_t sum = 0;
+    std::int32_t best = -32768;
+    for (unsigned i = 0; i < kElements; ++i) {
+      const std::int32_t v = rng.range(-1000, 1000);
+      sum = wadd(sum, v);
+      best = std::max(best, v);
+    }
+    return check_words(memory, env.out_base, {sum, best}, "deepnest10");
+  }
+};
+
+// ---------------- wavelet4 ----------------
+// 4-level Haar wavelet decomposition of 16-sample frames: per level,
+// approx[i] = (x[2i] + x[2i+1]) >> 1 and detail[i] = (x[2i] - x[2i+1]) >> 1.
+// The level loops have different trip counts (8/4/2/1), so every frame runs
+// a chain of sequential hardware loops -- a task-sequencing stress the
+// single-loop controllers cannot express.
+
+class Wavelet4 final : public Kernel {
+ public:
+  std::string_view name() const override { return "wavelet4"; }
+  std::string_view description() const override {
+    return "4-level Haar wavelet, 16-sample frames (loop chain per frame)";
+  }
+
+  static constexpr unsigned kFrameLen = 16;
+  static unsigned frames(const KernelEnv& env) { return 4 * env.scale; }
+
+  std::vector<KNode> build(const KernelEnv& env) const override {
+    const auto n_frames = static_cast<std::int32_t>(frames(env));
+    KernelBuilder kb;
+    kb.li(19, static_cast<std::int32_t>(env.in_base));
+    kb.li(20, static_cast<std::int32_t>(env.aux_base));       // ping
+    kb.li(22, static_cast<std::int32_t>(env.aux_base + 64));  // pong
+    kb.li(21, static_cast<std::int32_t>(env.out_base));
+    kb.for_count(1, 0, n_frames, 1, [&] {  // frame
+      kb.op(b::sll(10, 1, 6));
+      kb.op(b::add(10, 10, 19));  // frame input
+      kb.op(b::sll(9, 1, 6));
+      kb.op(b::add(9, 9, 21));
+      kb.op(b::add(15, 9, 0));    // detail output cursor
+      const auto level = [&kb](std::int32_t len, std::uint8_t src,
+                               std::uint8_t dst) {
+        kb.op(b::add(13, src, 0));
+        kb.op(b::add(14, dst, 0));
+        kb.for_count(2, 0, len, 1, [&] {
+          kb.op(b::lw(11, 0, 13));
+          kb.op(b::lw(12, 4, 13));
+          kb.op(b::add(16, 11, 12));
+          kb.op(b::sra(16, 16, 1));   // approx
+          kb.op(b::sub(17, 11, 12));
+          kb.op(b::sra(17, 17, 1));   // detail
+          kb.op(b::sw(16, 0, 14));
+          kb.op(b::sw(17, 0, 15));
+          kb.op(b::addi(13, 13, 8));
+          kb.op(b::addi(14, 14, 4));
+          kb.op(b::addi(15, 15, 4));
+        });
+      };
+      level(8, 10, 20);  // in   -> ping
+      level(4, 20, 22);  // ping -> pong
+      level(2, 22, 20);  // pong -> ping
+      level(1, 20, 22);  // ping -> pong
+      kb.op(b::lw(16, 0, 22));
+      kb.op(b::sw(16, 0, 15));  // final approx lands at out[15]
+    });
+    return kb.take();
+  }
+
+  void setup(const KernelEnv& env, mem::Memory& memory) const override {
+    Lcg rng(env.seed + 15);
+    for (unsigned i = 0; i < frames(env) * kFrameLen; ++i) {
+      memory.write32(env.in_base + i * 4,
+                     static_cast<std::uint32_t>(rng.range(-512, 511)));
+    }
+  }
+
+  Result<void> verify(const KernelEnv& env,
+                      const mem::Memory& memory) const override {
+    Lcg rng(env.seed + 15);
+    std::vector<std::int32_t> expected;
+    for (unsigned f = 0; f < frames(env); ++f) {
+      std::vector<std::int32_t> cur(kFrameLen);
+      for (auto& v : cur) v = rng.range(-512, 511);
+      std::vector<std::int32_t> details;
+      while (cur.size() > 1) {
+        std::vector<std::int32_t> next(cur.size() / 2);
+        for (unsigned i = 0; i < next.size(); ++i) {
+          next[i] = (cur[2 * i] + cur[2 * i + 1]) >> 1;
+          details.push_back((cur[2 * i] - cur[2 * i + 1]) >> 1);
+        }
+        cur = std::move(next);
+      }
+      expected.insert(expected.end(), details.begin(), details.end());
+      expected.push_back(cur[0]);
+    }
+    return check_words(memory, env.out_base, expected, "wavelet4");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel> make_tiled_mm() { return std::make_unique<TiledMm>(); }
+std::unique_ptr<Kernel> make_deepnest10() {
+  return std::make_unique<DeepNest10>();
+}
+std::unique_ptr<Kernel> make_wavelet4() {
+  return std::make_unique<Wavelet4>();
+}
+
+}  // namespace zolcsim::kernels

@@ -20,6 +20,9 @@ std::unique_ptr<Kernel> make_dct8x8();
 std::unique_ptr<Kernel> make_fft();
 std::unique_ptr<Kernel> make_me_fsbm();
 std::unique_ptr<Kernel> make_me_tss();
+std::unique_ptr<Kernel> make_tiled_mm();
+std::unique_ptr<Kernel> make_deepnest10();
+std::unique_ptr<Kernel> make_wavelet4();
 
 }  // namespace zolcsim::kernels
 

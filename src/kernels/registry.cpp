@@ -27,8 +27,22 @@ const std::vector<std::unique_ptr<Kernel>>& kernel_registry() {
   return *kernels;
 }
 
+const std::vector<std::unique_ptr<Kernel>>& extended_kernel_registry() {
+  static const auto* kernels = [] {
+    auto* v = new std::vector<std::unique_ptr<Kernel>>();
+    v->push_back(make_tiled_mm());
+    v->push_back(make_deepnest10());
+    v->push_back(make_wavelet4());
+    return v;
+  }();
+  return *kernels;
+}
+
 const Kernel* find_kernel(std::string_view name) {
   for (const auto& kernel : kernel_registry()) {
+    if (kernel->name() == name) return kernel.get();
+  }
+  for (const auto& kernel : extended_kernel_registry()) {
     if (kernel->name() == name) return kernel.get();
   }
   return nullptr;

@@ -16,37 +16,53 @@ double cmp(unsigned bits) { return kCmpPerBit * bits; }
 double mux2(unsigned bits) { return kMux2PerBit * bits; }
 /// n:1 read-mux tree over `bits`-wide words: (n-1) 2:1 muxes per bit.
 double read_tree(unsigned n, unsigned bits) {
-  return kMux2PerBit * (n - 1) * bits;
+  return n < 2 ? 0.0 : kMux2PerBit * (n - 1) * bits;
 }
 
+std::string num(unsigned n) { return std::to_string(n); }
+
 /// Calibrated control/glue terms (mode FSM, write sequencing, enables) such
-/// that structural + glue equals the paper's synthesis totals.
+/// that structural + glue equals the paper's synthesis totals at the paper
+/// geometry.
 constexpr double kGlueMicro = 18.0;
 constexpr double kGlueLite = 288.0;
 constexpr double kGlueFull = 356.0;
 
-unsigned storage_bits_for(ZolcVariant variant) {
+/// Storage words are counted as the hardware holds them (DESIGN.md 4.1):
+/// one 32-bit word per task entry, a pc_ofs-wide task-start entry, 64 bits
+/// per loop entry (parameters + live index), 16 status bits, and per
+/// exit/entry record the init words plus a 16-bit reserved half-word.
+unsigned record_storage_bits(const ZolcGeometry& g) {
+  return 32 * g.record_words() + 16;
+}
+
+unsigned storage_bits_for(ZolcVariant variant, const ZolcGeometry& g) {
   switch (variant) {
     case ZolcVariant::kMicro:
       // Six 32-bit data registers + three 16-bit control registers.
       return 6 * 32 + 3 * 16;
     case ZolcVariant::kLite:
-      // Task LUT 32x32 + task-start 32x16 + loop table 8x64 + status 16.
-      return 32 * 32 + 32 * 16 + 8 * 64 + 16;
+      // Task LUT + task-start table + loop table + status.
+      return g.max_tasks * 32 + g.max_tasks * g.pc_ofs_bits +
+             g.max_loops * 64 + 16;
     case ZolcVariant::kFull:
-      // Lite storage + 32 exit records x 48 + 32 entry records x 48.
-      return storage_bits_for(ZolcVariant::kLite) +
-             kFullExitRecords * 48 + kFullEntryRecords * 48;
+      // Lite storage + the exit and entry record banks.
+      return storage_bits_for(ZolcVariant::kLite, g) +
+             (g.exit_record_count() + g.entry_record_count()) *
+                 record_storage_bits(g);
   }
   ZS_UNREACHABLE("unknown variant");
 }
 
 }  // namespace
 
-AreaBreakdown area_model(ZolcVariant variant) {
+AreaBreakdown area_model(ZolcVariant variant, const ZolcGeometry& geometry) {
+  ZS_EXPECTS(geometry.valid());
+  const ZolcGeometry g = geometry.for_variant(variant);
   AreaBreakdown b;
   b.variant = variant;
-  b.storage_bits = storage_bits_for(variant);
+  b.geometry = g;
+  b.storage_bits = storage_bits_for(variant, g);
   b.storage_bytes = b.storage_bits / 8;
 
   auto add = [&b](std::string name, double gates) {
@@ -63,23 +79,41 @@ AreaBreakdown area_model(ZolcVariant variant) {
       break;
     case ZolcVariant::kLite:
     case ZolcVariant::kFull:
-      add("end-PC equality comparator (16b offset)", eq(16));
-      add("task LUT read tree (32:1 x 32b)", read_tree(32, 32));
-      add("task-start read tree (32:1 x 16b)", read_tree(32, 16));
-      add("loop table read tree (8:1 x 64b)", read_tree(8, 64));
+      add("end-PC equality comparator (" + num(g.pc_ofs_bits) + "b offset)",
+          eq(g.pc_ofs_bits));
+      add("task LUT read tree (" + num(g.max_tasks) + ":1 x 32b)",
+          read_tree(g.max_tasks, 32));
+      add("task-start read tree (" + num(g.max_tasks) + ":1 x " +
+              num(g.pc_ofs_bits) + "b)",
+          read_tree(g.max_tasks, g.pc_ofs_bits));
+      add("loop table read tree (" + num(g.max_loops) + ":1 x 64b)",
+          read_tree(g.max_loops, 64));
       add("index update adder (16b)", adder(16));
       add("termination comparator (16b)", cmp(16));
       add("next-PC offset adder (base + ofs<<2, 32b)", adder(32));
       add("next-PC select mux (32b 2:1)", mux2(32));
       add("RF write-port data mux (32b 2:1)", mux2(32));
-      add("table write-address decoders (5b + 3b)", 28.0);
+      add("table write-address decoders (" + num(g.task_id_bits()) + "b + " +
+              num(g.loop_id_bits()) + "b)",
+          kDecodePerOut * ((1u << g.task_id_bits()) + (1u << g.loop_id_bits())));
       b.glue_gates = kGlueLite;
       if (variant == ZolcVariant::kFull) {
-        add("candidate-exit comparators (4 x 16b)", 4 * eq(16));
-        add("multi-entry comparators (4 x 16b)", 4 * eq(16));
-        add("record valid/match logic (32 records)", 32.0);
-        add("matched-record wired-OR networks (2 x 48b)", 96.0);
-        add("reinit-mask distribution (8 loops)", 48.0);
+        add("candidate-exit comparators (" + num(g.max_exits_per_loop) +
+                " x " + num(g.pc_ofs_bits) + "b)",
+            g.max_exits_per_loop * eq(g.pc_ofs_bits));
+        add("multi-entry comparators (" + num(g.max_entries_per_loop) +
+                " x " + num(g.pc_ofs_bits) + "b)",
+            g.max_entries_per_loop * eq(g.pc_ofs_bits));
+        add("record valid/match logic (" +
+                num(g.exit_record_count() + g.entry_record_count()) +
+                " records)",
+            kMatchPerRecord *
+                (g.exit_record_count() + g.entry_record_count()));
+        add("matched-record wired-OR networks (2 x " +
+                num(record_storage_bits(g)) + "b)",
+            kWiredOrPerBit * record_storage_bits(g));
+        add("reinit-mask distribution (" + num(g.max_loops) + " loops)",
+            kReinitPerLoop * g.max_loops);
         b.glue_gates = kGlueFull;
       }
       break;

@@ -7,14 +7,17 @@
 //
 // We cannot re-run the original synthesis flow, so this module derives the
 // same numbers structurally:
-//   * storage is computed exactly from the documented table geometries
-//     (DESIGN.md 4.1) -- no calibration involved;
+//   * storage is computed exactly from the table geometry (DESIGN.md 4.1)
+//     -- no calibration involved; the paper geometry reproduces the paper's
+//     byte counts, and any ZolcGeometry yields its own counts the same way;
 //   * combinational area is a component inventory (comparators, adders,
 //     read-mux trees, match logic) priced in NAND2-equivalent gates with
 //     fixed per-bit coefficients, plus a per-variant "control/glue" term
-//     calibrated so the totals match the paper's synthesis results; tests
-//     assert the glue term stays positive and below 15% of the total, i.e.
-//     the *structure* explains the area scaling between variants;
+//     calibrated so the paper-geometry totals match the paper's synthesis
+//     results; tests assert the glue term stays positive and below 15% of
+//     the total, i.e. the *structure* explains the area scaling between
+//     variants. For non-paper geometries the structural terms scale with the
+//     geometry while the glue term is held at its calibrated value;
 //   * timing is a static longest-path estimate showing the ZOLC next-PC
 //     path is shorter than the processor's ALU path (hence "cycle time not
 //     affected").
@@ -36,6 +39,7 @@ struct AreaItem {
 
 struct AreaBreakdown {
   ZolcVariant variant = ZolcVariant::kMicro;
+  ZolcGeometry geometry;         ///< geometry the model was evaluated at
   unsigned storage_bits = 0;
   unsigned storage_bytes = 0;
   std::vector<AreaItem> items;   ///< structural components
@@ -44,8 +48,11 @@ struct AreaBreakdown {
   double total_gates = 0.0;      ///< structural + glue (matches the paper)
 };
 
-/// Computes the storage and area inventory for `variant`.
-[[nodiscard]] AreaBreakdown area_model(ZolcVariant variant);
+/// Computes the storage and area inventory for `variant` at `geometry`
+/// (restricted to the tables the variant implements; the default geometry
+/// is the paper prototype).
+[[nodiscard]] AreaBreakdown area_model(
+    ZolcVariant variant, const ZolcGeometry& geometry = ZolcGeometry{});
 
 /// Static timing estimate (0.13 um-class delays).
 struct TimingEstimate {
@@ -60,10 +67,14 @@ struct TimingEstimate {
 /// NAND2-equivalent per-bit pricing used by the inventory (exposed so tests
 /// and documentation can reference one authoritative set of coefficients).
 namespace gate_cost {
-inline constexpr double kEqPerBit = 1.0;    ///< XNOR + AND-tree slice
-inline constexpr double kAddPerBit = 4.0;   ///< optimized ripple adder
-inline constexpr double kCmpPerBit = 2.0;   ///< magnitude comparator slice
-inline constexpr double kMux2PerBit = 1.75; ///< 2:1 mux (read trees use n-1)
+inline constexpr double kEqPerBit = 1.0;     ///< XNOR + AND-tree slice
+inline constexpr double kAddPerBit = 4.0;    ///< optimized ripple adder
+inline constexpr double kCmpPerBit = 2.0;    ///< magnitude comparator slice
+inline constexpr double kMux2PerBit = 1.75;  ///< 2:1 mux (read trees use n-1)
+inline constexpr double kDecodePerOut = 0.7; ///< write-address decoder output
+inline constexpr double kMatchPerRecord = 0.5;  ///< record valid/match slice
+inline constexpr double kWiredOrPerBit = 2.0;   ///< matched-record OR network
+inline constexpr double kReinitPerLoop = 6.0;   ///< reinit-mask distribution
 }  // namespace gate_cost
 
 }  // namespace zolcsim::zolc

@@ -17,47 +17,70 @@ using cpu::RfWrite;
 using cpu::SimError;
 using isa::Opcode;
 
+static_assert(kMaxGeometryLoops <= cpu::kMaxAccelLoops,
+              "AccelSnapshot cannot carry the largest geometry");
+
 }  // namespace
 
-ZolcController::ZolcController(ZolcVariant variant)
-    : variant_(variant), cap_(capacity(variant)) {}
+ZolcController::ZolcController(ZolcVariant variant,
+                               const ZolcGeometry& geometry)
+    : variant_(variant),
+      geom_(geometry.for_variant(variant)),
+      pc_mask_(mask32(geom_.pc_ofs_bits)) {
+  ZS_EXPECTS(geometry.valid());
+  tasks_.resize(geom_.max_tasks);
+  task_start_.resize(geom_.max_tasks);
+  loops_.resize(geom_.max_loops);
+  exits_.resize(geom_.exit_record_count());
+  entries_.resize(geom_.entry_record_count());
+}
 
 const TaskEntry& ZolcController::task(unsigned idx) const {
-  ZS_EXPECTS(idx < cap_.max_tasks);
+  ZS_EXPECTS(idx < tasks_.size());
   return tasks_[idx];
 }
 
 std::uint16_t ZolcController::task_start(unsigned idx) const {
-  ZS_EXPECTS(idx < cap_.max_tasks);
+  ZS_EXPECTS(idx < task_start_.size());
   return task_start_[idx];
 }
 
 const LoopEntry& ZolcController::loop(unsigned idx) const {
-  ZS_EXPECTS(variant_ != ZolcVariant::kMicro && idx < cap_.max_loops);
+  ZS_EXPECTS(variant_ != ZolcVariant::kMicro && idx < loops_.size());
   return loops_[idx];
 }
 
 const ExitRecord& ZolcController::exit_record(unsigned idx) const {
-  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < kFullExitRecords);
+  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < exits_.size());
   return exits_[idx];
 }
 
 const EntryRecord& ZolcController::entry_record(unsigned idx) const {
-  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < kFullEntryRecords);
+  ZS_EXPECTS(variant_ == ZolcVariant::kFull && idx < entries_.size());
   return entries_[idx];
 }
 
 void ZolcController::reset() {
-  tasks_ = {};
-  task_start_ = {};
-  loops_ = {};
-  exits_ = {};
-  entries_ = {};
+  std::fill(tasks_.begin(), tasks_.end(), TaskEntry{});
+  std::fill(task_start_.begin(), task_start_.end(), std::uint16_t{0});
+  std::fill(loops_.begin(), loops_.end(), LoopEntry{});
+  std::fill(exits_.begin(), exits_.end(), ExitRecord{});
+  std::fill(entries_.begin(), entries_.end(), EntryRecord{});
   micro_ = {};
   base_ = 0;
   current_task_ = 0;
   active_ = false;
   stats_ = {};
+  trigger_pc_ = kNoTrigger;
+}
+
+void ZolcController::refresh_trigger() noexcept {
+  if (!active_ || variant_ == ZolcVariant::kMicro || tasks_.empty()) {
+    trigger_pc_ = kNoTrigger;
+    return;
+  }
+  const TaskEntry& t = tasks_[current_task_];
+  trigger_pc_ = t.valid ? ofs_to_pc(t.end_pc_ofs) : kNoTrigger;
 }
 
 void ZolcController::init_write(Opcode op, std::uint8_t idx,
@@ -67,23 +90,35 @@ void ZolcController::init_write(Opcode op, std::uint8_t idx,
   }
   ++stats_.table_writes;
   switch (op) {
-    case Opcode::kZolwTe:
-      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_tasks) {
+    case Opcode::kZolwTe: {
+      if (variant_ == ZolcVariant::kMicro || idx >= tasks_.size()) {
         throw SimError("zolw.te: no task entry " + std::to_string(idx) +
                        " on " + std::string(variant_name(variant_)));
       }
-      tasks_[idx] = TaskEntry::unpack(value);
+      // Range-check the packed ids: the field widths are rounded up to
+      // whole bits, so non-power-of-two geometries admit encodings beyond
+      // the table sizes (the hardware write decoder traps them).
+      const TaskEntry entry = TaskEntry::unpack(value, geom_);
+      if (entry.loop_id >= geom_.max_loops ||
+          entry.next_task_cont >= geom_.max_tasks ||
+          entry.next_task_done >= geom_.max_tasks) {
+        throw SimError("zolw.te: packed id out of range for geometry " +
+                       geom_.label());
+      }
+      tasks_[idx] = entry;
       break;
+    }
     case Opcode::kZolwTs:
-      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_tasks) {
+      if (variant_ == ZolcVariant::kMicro || idx >= tasks_.size()) {
         throw SimError("zolw.ts: no task entry " + std::to_string(idx) +
                        " on " + std::string(variant_name(variant_)));
       }
-      task_start_[idx] = static_cast<std::uint16_t>(value & 0xFFFFu);
+      task_start_[idx] =
+          static_cast<std::uint16_t>(value & mask32(geom_.pc_ofs_bits));
       break;
     case Opcode::kZolwLp0:
     case Opcode::kZolwLp1:
-      if (variant_ == ZolcVariant::kMicro || idx >= cap_.max_loops) {
+      if (variant_ == ZolcVariant::kMicro || idx >= loops_.size()) {
         throw SimError("zolw.lp: no loop entry " + std::to_string(idx) +
                        " on " + std::string(variant_name(variant_)));
       }
@@ -92,21 +127,29 @@ void ZolcController::init_write(Opcode op, std::uint8_t idx,
       break;
     case Opcode::kZolwEx0:
     case Opcode::kZolwEx1:
-      if (variant_ != ZolcVariant::kFull || idx >= kFullExitRecords) {
+      if (variant_ != ZolcVariant::kFull || idx >= exits_.size()) {
         throw SimError("zolw.ex: no exit record " + std::to_string(idx) +
                        " on " + std::string(variant_name(variant_)));
       }
-      if (op == Opcode::kZolwEx0) exits_[idx].unpack_lo(value);
-      else exits_[idx].unpack_hi(value);
+      if (op == Opcode::kZolwEx0) exits_[idx].unpack_lo(value, geom_);
+      else exits_[idx].unpack_hi(value, geom_);
+      if (exits_[idx].next_task >= geom_.max_tasks) {
+        throw SimError("zolw.ex: packed next_task out of range for geometry " +
+                       geom_.label());
+      }
       break;
     case Opcode::kZolwEn0:
     case Opcode::kZolwEn1:
-      if (variant_ != ZolcVariant::kFull || idx >= kFullEntryRecords) {
+      if (variant_ != ZolcVariant::kFull || idx >= entries_.size()) {
         throw SimError("zolw.en: no entry record " + std::to_string(idx) +
                        " on " + std::string(variant_name(variant_)));
       }
-      if (op == Opcode::kZolwEn0) entries_[idx].unpack_lo(value);
-      else entries_[idx].unpack_hi(value);
+      if (op == Opcode::kZolwEn0) entries_[idx].unpack_lo(value, geom_);
+      else entries_[idx].unpack_hi(value, geom_);
+      if (entries_[idx].next_task >= geom_.max_tasks) {
+        throw SimError("zolw.en: packed next_task out of range for geometry " +
+                       geom_.label());
+      }
       break;
     case Opcode::kZolwU: {
       if (variant_ != ZolcVariant::kMicro || idx >= kMicroRegCount) {
@@ -145,7 +188,7 @@ void ZolcController::activate(std::uint8_t start_task, std::uint32_t base) {
     active_ = true;
     return;
   }
-  if (start_task >= cap_.max_tasks) {
+  if (start_task >= tasks_.size()) {
     throw SimError("zolon: start task " + std::to_string(start_task) +
                    " out of range");
   }
@@ -159,14 +202,18 @@ void ZolcController::activate(std::uint8_t start_task, std::uint32_t base) {
     if (loop.valid) loop.current = loop.initial;
   }
   active_ = true;
+  refresh_trigger();
 }
 
-void ZolcController::deactivate() { active_ = false; }
+void ZolcController::deactivate() {
+  active_ = false;
+  trigger_pc_ = kNoTrigger;
+}
 
 bool ZolcController::pc_to_ofs(std::uint32_t pc, std::uint16_t& ofs) const {
   if (pc < base_) return false;
   const std::uint32_t delta = (pc - base_) >> 2;
-  if (delta > 0xFFFFu) return false;
+  if (delta > pc_mask_) return false;
   ofs = static_cast<std::uint16_t>(delta);
   return true;
 }
@@ -178,10 +225,10 @@ std::uint32_t ZolcController::ofs_to_pc(std::uint16_t ofs) const noexcept {
 bool ZolcController::will_trigger(std::uint32_t pc) const {
   if (!active_) return false;
   if (variant_ == ZolcVariant::kMicro) return pc == micro_.end_pc;
-  std::uint16_t ofs = 0;
-  if (!pc_to_ofs(pc, ofs)) return false;
-  const TaskEntry& t = tasks_[current_task_];
-  return t.valid && t.end_pc_ofs == ofs;
+  // Single comparison against the latched end PC of the current task (the
+  // hardware's task-end comparator); refresh_trigger() keeps it coherent
+  // across task switches.
+  return pc == trigger_pc_;
 }
 
 std::optional<AccelEvent> ZolcController::on_fetch(std::uint32_t pc) {
@@ -211,7 +258,7 @@ std::optional<AccelEvent> ZolcController::on_fetch(std::uint32_t pc) {
   while (active_) {
     const TaskEntry& t = tasks_[current_task_];
     if (!t.valid || t.end_pc_ofs != ofs) break;
-    if (++depth > cap_.max_loops) {
+    if (++depth > geom_.max_loops) {
       throw SimError("ZOLC cascade exceeded hardware depth at " + hex32(pc));
     }
     LoopEntry& loop = loops_[t.loop_id];
@@ -247,11 +294,12 @@ std::optional<AccelEvent> ZolcController::on_fetch(std::uint32_t pc) {
     stats_.max_cascade_depth = std::max<std::uint64_t>(stats_.max_cascade_depth,
                                                        depth);
   }
+  refresh_trigger();
   return ev;
 }
 
-void ZolcController::apply_reinit_mask(std::uint8_t mask, AccelEvent& ev) {
-  for (unsigned i = 0; i < cap_.max_loops; ++i) {
+void ZolcController::apply_reinit_mask(std::uint32_t mask, AccelEvent& ev) {
+  for (unsigned i = 0; i < geom_.max_loops; ++i) {
     if ((mask & (1u << i)) == 0) continue;
     LoopEntry& loop = loops_[i];
     if (!loop.valid) {
@@ -271,12 +319,12 @@ std::optional<AccelEvent> ZolcController::on_taken_control(
   bool matched = false;
 
   // Candidate exits, scoped to the current task's controlling loop (the
-  // hardware compares only that loop's 4 records).
+  // hardware compares only that loop's bank of records).
   const TaskEntry& t = tasks_[current_task_];
   std::uint16_t ofs = 0;
   if (t.valid && pc_to_ofs(pc, ofs)) {
-    const unsigned bank = t.loop_id * cap_.max_exits_per_loop;
-    for (unsigned slot = 0; slot < cap_.max_exits_per_loop; ++slot) {
+    const unsigned bank = t.loop_id * geom_.max_exits_per_loop;
+    for (unsigned slot = 0; slot < geom_.max_exits_per_loop; ++slot) {
       const ExitRecord& r = exits_[bank + slot];
       if (!r.valid || r.branch_pc_ofs != ofs) continue;
       matched = true;
@@ -302,11 +350,13 @@ std::optional<AccelEvent> ZolcController::on_taken_control(
   }
 
   if (!matched) return std::nullopt;
+  refresh_trigger();
   return ev;
 }
 
 cpu::AccelSnapshot ZolcController::snapshot() const {
   cpu::AccelSnapshot s;
+  s.loop_count = static_cast<std::uint8_t>(loops_.size());
   for (unsigned i = 0; i < loops_.size(); ++i) {
     s.loop_current[i] = loops_[i].current;
   }
@@ -317,12 +367,14 @@ cpu::AccelSnapshot ZolcController::snapshot() const {
 }
 
 void ZolcController::restore(const cpu::AccelSnapshot& snapshot) {
+  ZS_EXPECTS(snapshot.loop_count == loops_.size());
   for (unsigned i = 0; i < loops_.size(); ++i) {
     loops_[i].current = snapshot.loop_current[i];
   }
   micro_.current = snapshot.micro_current;
   current_task_ = snapshot.current_task;
   active_ = snapshot.active;
+  refresh_trigger();
 }
 
 std::string ZolcController::describe() const {
@@ -339,8 +391,9 @@ std::string ZolcController::describe() const {
        << '\n';
     return os.str();
   }
+  os << "  geometry: " << geom_.label() << '\n';
   os << "  base: " << hex32(base_) << '\n';
-  for (unsigned i = 0; i < cap_.max_tasks; ++i) {
+  for (unsigned i = 0; i < tasks_.size(); ++i) {
     const TaskEntry& t = tasks_[i];
     if (!t.valid) continue;
     os << "  task " << i << ": start_ofs=" << task_start_[i]
@@ -348,7 +401,7 @@ std::string ZolcController::describe() const {
        << " cont->" << unsigned(t.next_task_cont) << " done->"
        << unsigned(t.next_task_done) << (t.is_last ? " [last]" : "") << '\n';
   }
-  for (unsigned i = 0; i < cap_.max_loops; ++i) {
+  for (unsigned i = 0; i < loops_.size(); ++i) {
     const LoopEntry& l = loops_[i];
     if (!l.valid) continue;
     os << "  loop " << i << ": init=" << l.initial << " final=" << l.final
@@ -357,22 +410,22 @@ std::string ZolcController::describe() const {
        << " current=" << l.current << '\n';
   }
   if (variant_ == ZolcVariant::kFull) {
-    for (unsigned i = 0; i < kFullExitRecords; ++i) {
+    for (unsigned i = 0; i < exits_.size(); ++i) {
       const ExitRecord& r = exits_[i];
       if (!r.valid) continue;
-      os << "  exit[" << i / cap_.max_exits_per_loop << '.'
-         << i % cap_.max_exits_per_loop << "]: branch_ofs=" << r.branch_pc_ofs
+      os << "  exit[" << i / geom_.max_exits_per_loop << '.'
+         << i % geom_.max_exits_per_loop << "]: branch_ofs=" << r.branch_pc_ofs
          << " next_task=" << unsigned(r.next_task) << " reinit=0x" << std::hex
-         << unsigned(r.reinit_mask) << std::dec
+         << r.reinit_mask << std::dec
          << (r.deactivate ? " [deactivate]" : "") << '\n';
     }
-    for (unsigned i = 0; i < kFullEntryRecords; ++i) {
+    for (unsigned i = 0; i < entries_.size(); ++i) {
       const EntryRecord& r = entries_[i];
       if (!r.valid) continue;
-      os << "  entry[" << i / cap_.max_entries_per_loop << '.'
-         << i % cap_.max_entries_per_loop << "]: entry_ofs=" << r.entry_pc_ofs
+      os << "  entry[" << i / geom_.max_entries_per_loop << '.'
+         << i % geom_.max_entries_per_loop << "]: entry_ofs=" << r.entry_pc_ofs
          << " next_task=" << unsigned(r.next_task) << " reinit=0x" << std::hex
-         << unsigned(r.reinit_mask) << std::dec << '\n';
+         << r.reinit_mask << std::dec << '\n';
     }
   }
   return os.str();

@@ -1,7 +1,9 @@
 // ZolcController: architectural model of the zero-overhead loop controller,
 // implementing the cpu::LoopAccelerator interface. One class models all
-// three hardware variants (capacities differ; uZOLC additionally bypasses
-// the task machinery entirely and uses its private register file).
+// three hardware variants (table geometry differs; uZOLC additionally
+// bypasses the task machinery entirely and uses its private register file).
+// The geometry is a construction-time parameter: the default reproduces the
+// paper's prototype, wider/deeper geometries size every table at runtime.
 //
 // Event semantics (DESIGN.md 4.2):
 //  * task end     -- fetch PC matches the current task's end_pc: update the
@@ -18,9 +20,9 @@
 #ifndef ZOLCSIM_ZOLC_CONTROLLER_HPP
 #define ZOLCSIM_ZOLC_CONTROLLER_HPP
 
-#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "cpu/accel.hpp"
 #include "zolc/config.hpp"
@@ -41,9 +43,14 @@ struct ZolcStats {
 
 class ZolcController final : public cpu::LoopAccelerator {
  public:
-  explicit ZolcController(ZolcVariant variant);
+  /// Builds a controller of `variant` with the tables sized by `geometry`
+  /// (restricted to the tables the variant implements). The default geometry
+  /// is the paper's prototype. Precondition: geometry.valid().
+  explicit ZolcController(ZolcVariant variant,
+                          const ZolcGeometry& geometry = ZolcGeometry{});
 
   [[nodiscard]] ZolcVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] const ZolcGeometry& geometry() const noexcept { return geom_; }
   [[nodiscard]] bool active() const noexcept { return active_; }
   [[nodiscard]] std::uint8_t current_task() const noexcept {
     return current_task_;
@@ -76,23 +83,33 @@ class ZolcController final : public cpu::LoopAccelerator {
   void restore(const cpu::AccelSnapshot& snapshot) override;
 
  private:
-  /// Maps a byte PC to a 16-bit word offset from the activation base;
-  /// returns false when the PC lies outside the addressable window.
+  /// Maps a byte PC to a word offset (pc_ofs_bits wide) from the activation
+  /// base; returns false when the PC lies outside the addressable window.
   [[nodiscard]] bool pc_to_ofs(std::uint32_t pc, std::uint16_t& ofs) const;
   [[nodiscard]] std::uint32_t ofs_to_pc(std::uint16_t ofs) const noexcept;
 
   /// Re-initializes every loop in `mask`, appending RF write-backs to `ev`.
-  void apply_reinit_mask(std::uint8_t mask, cpu::AccelEvent& ev);
+  void apply_reinit_mask(std::uint32_t mask, cpu::AccelEvent& ev);
+
+  /// Recomputes trigger_pc_ -- the hardware's latched task-end comparator
+  /// input -- after anything that changes the current task, the base, or
+  /// the active flag.
+  void refresh_trigger() noexcept;
+
+  /// Sentinel trigger_pc_ value no word-aligned fetch can match.
+  static constexpr std::uint32_t kNoTrigger = 1;
 
   ZolcVariant variant_;
-  ZolcCapacity cap_;
+  ZolcGeometry geom_;
+  std::uint32_t pc_mask_ = 0;      ///< mask32(geom_.pc_ofs_bits), cached
+  std::uint32_t trigger_pc_ = kNoTrigger;
 
-  // ZOLClite / ZOLCfull storage.
-  std::array<TaskEntry, 32> tasks_{};
-  std::array<std::uint16_t, 32> task_start_{};
-  std::array<LoopEntry, 8> loops_{};
-  std::array<ExitRecord, kFullExitRecords> exits_{};
-  std::array<EntryRecord, kFullEntryRecords> entries_{};
+  // ZOLClite / ZOLCfull storage, sized by geom_.
+  std::vector<TaskEntry> tasks_;
+  std::vector<std::uint16_t> task_start_;
+  std::vector<LoopEntry> loops_;
+  std::vector<ExitRecord> exits_;
+  std::vector<EntryRecord> entries_;
   std::uint32_t base_ = 0;
 
   // uZOLC storage (six 32-bit + control registers).

@@ -4,25 +4,33 @@
 
 namespace zolcsim::zolc {
 
-std::uint32_t TaskEntry::pack() const noexcept {
+std::uint32_t TaskEntry::pack(const ZolcGeometry& geom) const noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned lb = geom.loop_id_bits();
+  const unsigned tb = geom.task_id_bits();
   std::uint32_t w = 0;
-  w |= end_pc_ofs;
-  w |= static_cast<std::uint32_t>(loop_id & 0x7u) << 16;
-  w |= static_cast<std::uint32_t>(next_task_cont & 0x1Fu) << 19;
-  w |= static_cast<std::uint32_t>(next_task_done & 0x1Fu) << 24;
-  w |= static_cast<std::uint32_t>(is_last ? 1u : 0u) << 29;
-  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 30;
+  w |= end_pc_ofs & mask32(p);
+  w |= (loop_id & mask32(lb)) << p;
+  w |= (next_task_cont & mask32(tb)) << (p + lb);
+  w |= (next_task_done & mask32(tb)) << (p + lb + tb);
+  w |= static_cast<std::uint32_t>(is_last ? 1u : 0u) << (p + lb + 2 * tb);
+  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << (p + lb + 2 * tb + 1);
   return w;
 }
 
-TaskEntry TaskEntry::unpack(std::uint32_t word) noexcept {
+TaskEntry TaskEntry::unpack(std::uint32_t word,
+                            const ZolcGeometry& geom) noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned lb = geom.loop_id_bits();
+  const unsigned tb = geom.task_id_bits();
   TaskEntry e;
-  e.end_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
-  e.loop_id = static_cast<std::uint8_t>(extract_bits(word, 16, 3));
-  e.next_task_cont = static_cast<std::uint8_t>(extract_bits(word, 19, 5));
-  e.next_task_done = static_cast<std::uint8_t>(extract_bits(word, 24, 5));
-  e.is_last = extract_bits(word, 29, 1) != 0;
-  e.valid = extract_bits(word, 30, 1) != 0;
+  e.end_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, p));
+  e.loop_id = static_cast<std::uint8_t>(extract_bits(word, p, lb));
+  e.next_task_cont = static_cast<std::uint8_t>(extract_bits(word, p + lb, tb));
+  e.next_task_done =
+      static_cast<std::uint8_t>(extract_bits(word, p + lb + tb, tb));
+  e.is_last = extract_bits(word, p + lb + 2 * tb, 1) != 0;
+  e.valid = extract_bits(word, p + lb + 2 * tb + 1, 1) != 0;
   return e;
 }
 
@@ -52,38 +60,80 @@ void LoopEntry::unpack_word1(std::uint32_t word) noexcept {
   valid = extract_bits(word, 15, 1) != 0;
 }
 
-std::uint32_t ExitRecord::pack_lo() const noexcept {
-  std::uint32_t w = 0;
-  w |= branch_pc_ofs;
-  w |= static_cast<std::uint32_t>(next_task & 0x1Fu) << 16;
-  w |= static_cast<std::uint32_t>(reinit_mask) << 21;
-  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 29;
-  w |= static_cast<std::uint32_t>(deactivate ? 1u : 0u) << 30;
+std::uint64_t ExitRecord::pack64(const ZolcGeometry& geom) const noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned tb = geom.task_id_bits();
+  const unsigned lm = geom.max_loops;
+  std::uint64_t w = 0;
+  w |= branch_pc_ofs & mask64(p);
+  w |= static_cast<std::uint64_t>(next_task & mask32(tb)) << p;
+  w |= (reinit_mask & mask64(lm)) << (p + tb);
+  w |= static_cast<std::uint64_t>(valid ? 1u : 0u) << (p + tb + lm);
+  w |= static_cast<std::uint64_t>(deactivate ? 1u : 0u) << (p + tb + lm + 1);
   return w;
 }
 
-void ExitRecord::unpack_lo(std::uint32_t word) noexcept {
-  branch_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
-  next_task = static_cast<std::uint8_t>(extract_bits(word, 16, 5));
-  reinit_mask = static_cast<std::uint8_t>(extract_bits(word, 21, 8));
-  valid = extract_bits(word, 29, 1) != 0;
-  deactivate = extract_bits(word, 30, 1) != 0;
+ExitRecord ExitRecord::unpack64(std::uint64_t bits,
+                                const ZolcGeometry& geom) noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned tb = geom.task_id_bits();
+  const unsigned lm = geom.max_loops;
+  ExitRecord r;
+  r.branch_pc_ofs = static_cast<std::uint16_t>(extract_bits64(bits, 0, p));
+  r.next_task = static_cast<std::uint8_t>(extract_bits64(bits, p, tb));
+  r.reinit_mask = static_cast<std::uint32_t>(extract_bits64(bits, p + tb, lm));
+  r.valid = extract_bits64(bits, p + tb + lm, 1) != 0;
+  r.deactivate = extract_bits64(bits, p + tb + lm + 1, 1) != 0;
+  return r;
 }
 
-std::uint32_t EntryRecord::pack_lo() const noexcept {
-  std::uint32_t w = 0;
-  w |= entry_pc_ofs;
-  w |= static_cast<std::uint32_t>(next_task & 0x1Fu) << 16;
-  w |= static_cast<std::uint32_t>(reinit_mask) << 21;
-  w |= static_cast<std::uint32_t>(valid ? 1u : 0u) << 29;
+void ExitRecord::unpack_lo(std::uint32_t word,
+                           const ZolcGeometry& geom) noexcept {
+  *this = unpack64((pack64(geom) & ~std::uint64_t{0xFFFF'FFFFu}) | word, geom);
+}
+
+void ExitRecord::unpack_hi(std::uint32_t word,
+                           const ZolcGeometry& geom) noexcept {
+  *this = unpack64((pack64(geom) & std::uint64_t{0xFFFF'FFFFu}) |
+                       (static_cast<std::uint64_t>(word) << 32),
+                   geom);
+}
+
+std::uint64_t EntryRecord::pack64(const ZolcGeometry& geom) const noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned tb = geom.task_id_bits();
+  const unsigned lm = geom.max_loops;
+  std::uint64_t w = 0;
+  w |= entry_pc_ofs & mask64(p);
+  w |= static_cast<std::uint64_t>(next_task & mask32(tb)) << p;
+  w |= (reinit_mask & mask64(lm)) << (p + tb);
+  w |= static_cast<std::uint64_t>(valid ? 1u : 0u) << (p + tb + lm);
   return w;
 }
 
-void EntryRecord::unpack_lo(std::uint32_t word) noexcept {
-  entry_pc_ofs = static_cast<std::uint16_t>(extract_bits(word, 0, 16));
-  next_task = static_cast<std::uint8_t>(extract_bits(word, 16, 5));
-  reinit_mask = static_cast<std::uint8_t>(extract_bits(word, 21, 8));
-  valid = extract_bits(word, 29, 1) != 0;
+EntryRecord EntryRecord::unpack64(std::uint64_t bits,
+                                  const ZolcGeometry& geom) noexcept {
+  const unsigned p = geom.pc_ofs_bits;
+  const unsigned tb = geom.task_id_bits();
+  const unsigned lm = geom.max_loops;
+  EntryRecord r;
+  r.entry_pc_ofs = static_cast<std::uint16_t>(extract_bits64(bits, 0, p));
+  r.next_task = static_cast<std::uint8_t>(extract_bits64(bits, p, tb));
+  r.reinit_mask = static_cast<std::uint32_t>(extract_bits64(bits, p + tb, lm));
+  r.valid = extract_bits64(bits, p + tb + lm, 1) != 0;
+  return r;
+}
+
+void EntryRecord::unpack_lo(std::uint32_t word,
+                            const ZolcGeometry& geom) noexcept {
+  *this = unpack64((pack64(geom) & ~std::uint64_t{0xFFFF'FFFFu}) | word, geom);
+}
+
+void EntryRecord::unpack_hi(std::uint32_t word,
+                            const ZolcGeometry& geom) noexcept {
+  *this = unpack64((pack64(geom) & std::uint64_t{0xFFFF'FFFFu}) |
+                       (static_cast<std::uint64_t>(word) << 32),
+                   geom);
 }
 
 std::uint32_t pack_micro_ctrl(std::uint8_t index_rf, LoopCond cond) noexcept {

@@ -1,12 +1,15 @@
 // Bit-accurate ZOLC storage formats. These pack/unpack routines are the
 // single source of truth shared by the controller (decoding init-mode
 // writes) and the code generator (emitting init sequences), so the two can
-// never disagree on a field layout. Field geometry matches DESIGN.md 4.1 and
-// reproduces the paper's storage byte counts exactly.
+// never disagree on a field layout. Field positions derive from a
+// ZolcGeometry (DESIGN.md 4.1); with the default (paper) geometry the
+// layouts and storage byte counts reproduce the paper exactly.
 #ifndef ZOLCSIM_ZOLC_TABLES_HPP
 #define ZOLCSIM_ZOLC_TABLES_HPP
 
 #include <cstdint>
+
+#include "zolc/config.hpp"
 
 namespace zolcsim::zolc {
 
@@ -25,7 +28,9 @@ enum class LoopCond : std::uint8_t { kLt = 0, kLe = 1, kGt = 2, kGe = 3 };
   return false;
 }
 
-/// Task selection LUT entry (32 bits):
+/// Task selection LUT entry (one 32-bit init word). Generic layout, LSB
+/// first: end_pc_ofs (pc_ofs_bits), loop_id, next_task_cont, next_task_done,
+/// is_last, valid. Paper geometry (16/3/5 bits):
 ///   [15:0]  end_pc_ofs   word offset (from the activation base) of the last
 ///                        instruction of the task
 ///   [18:16] loop_id      loop tested at this boundary
@@ -42,13 +47,16 @@ struct TaskEntry {
   bool is_last = false;
   bool valid = false;
 
-  [[nodiscard]] std::uint32_t pack() const noexcept;
-  [[nodiscard]] static TaskEntry unpack(std::uint32_t word) noexcept;
+  [[nodiscard]] std::uint32_t pack(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept;
+  [[nodiscard]] static TaskEntry unpack(
+      std::uint32_t word, const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
 
   friend bool operator==(const TaskEntry&, const TaskEntry&) = default;
 };
 
-/// Loop parameter table entry (64 bits = two init words):
+/// Loop parameter table entry (64 bits = two init words; geometry-invariant,
+/// only the entry *count* scales):
 ///   word0: [15:0] initial (signed), [31:16] final (signed)
 ///   word1: [7:0]  step (signed), [12:8] index_rf, [14:13] cond, [15] valid,
 ///          [31:16] reserved (the live index copy occupies these bits in
@@ -71,39 +79,70 @@ struct LoopEntry {
   friend bool operator==(const LoopEntry&, const LoopEntry&) = default;
 };
 
-/// Candidate-exit record, ZOLCfull only (48 bits = 32 + 16):
+/// Candidate-exit record, ZOLCfull only. Generic layout, LSB first:
+/// branch_pc_ofs (pc_ofs_bits), next_task, reinit_mask (max_loops bits),
+/// valid, kind (bit0: deactivate, leaves the region). Records wider than one
+/// init word spill into the hi word. Paper geometry (48 bits = 32 + 16):
 ///   lo: [15:0] branch_pc_ofs, [20:16] next_task, [28:21] reinit_mask,
-///       [29] valid, [31:30] kind (bit0: deactivate, leaves the region)
+///       [29] valid, [31:30] kind
 ///   hi: [15:0] reserved
 struct ExitRecord {
   std::uint16_t branch_pc_ofs = 0;
   std::uint8_t next_task = 0;
-  std::uint8_t reinit_mask = 0;
+  std::uint32_t reinit_mask = 0;
   bool valid = false;
   bool deactivate = false;
 
-  [[nodiscard]] std::uint32_t pack_lo() const noexcept;
-  [[nodiscard]] std::uint32_t pack_hi() const noexcept { return 0; }
-  void unpack_lo(std::uint32_t word) noexcept;
-  void unpack_hi(std::uint32_t /*word*/) noexcept {}
+  [[nodiscard]] std::uint64_t pack64(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept;
+  [[nodiscard]] static ExitRecord unpack64(
+      std::uint64_t bits, const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
+
+  [[nodiscard]] std::uint32_t pack_lo(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept {
+    return static_cast<std::uint32_t>(pack64(geom));
+  }
+  [[nodiscard]] std::uint32_t pack_hi(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept {
+    return static_cast<std::uint32_t>(pack64(geom) >> 32);
+  }
+  void unpack_lo(std::uint32_t word,
+                 const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
+  void unpack_hi(std::uint32_t word,
+                 const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
 
   friend bool operator==(const ExitRecord&, const ExitRecord&) = default;
 };
 
-/// Multi-entry record, ZOLCfull only (48 bits = 32 + 16):
+/// Multi-entry record, ZOLCfull only. Same generic layout as ExitRecord but
+/// keyed on the transfer target and without the kind field. Paper geometry
+/// (48 bits = 32 + 16):
 ///   lo: [15:0] entry_pc_ofs, [20:16] next_task, [28:21] reinit_mask,
 ///       [29] valid
 ///   hi: [15:0] reserved
 struct EntryRecord {
   std::uint16_t entry_pc_ofs = 0;
   std::uint8_t next_task = 0;
-  std::uint8_t reinit_mask = 0;
+  std::uint32_t reinit_mask = 0;
   bool valid = false;
 
-  [[nodiscard]] std::uint32_t pack_lo() const noexcept;
-  [[nodiscard]] std::uint32_t pack_hi() const noexcept { return 0; }
-  void unpack_lo(std::uint32_t word) noexcept;
-  void unpack_hi(std::uint32_t /*word*/) noexcept {}
+  [[nodiscard]] std::uint64_t pack64(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept;
+  [[nodiscard]] static EntryRecord unpack64(
+      std::uint64_t bits, const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
+
+  [[nodiscard]] std::uint32_t pack_lo(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept {
+    return static_cast<std::uint32_t>(pack64(geom));
+  }
+  [[nodiscard]] std::uint32_t pack_hi(
+      const ZolcGeometry& geom = ZolcGeometry{}) const noexcept {
+    return static_cast<std::uint32_t>(pack64(geom) >> 32);
+  }
+  void unpack_lo(std::uint32_t word,
+                 const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
+  void unpack_hi(std::uint32_t word,
+                 const ZolcGeometry& geom = ZolcGeometry{}) noexcept;
 
   friend bool operator==(const EntryRecord&, const EntryRecord&) = default;
 };

@@ -73,19 +73,62 @@ TEST(TimingModel, FmaxAboutOneSeventyMHz) {
   EXPECT_NEAR(t.fmax_mhz, 170.0, 1.0);
 }
 
-TEST(Capacity, MatchesPaperConfiguration) {
+TEST(Geometry, PaperConfigurationMatchesPaper) {
   // "ZOLCfull refers to a ZOLC supporting 32 task switching entries, and
   //  8-loop structure with up to 4 entries/exits per loop."
-  const auto full = capacity(ZolcVariant::kFull);
+  const auto full = ZolcGeometry::paper(ZolcVariant::kFull);
   EXPECT_EQ(full.max_tasks, 32u);
   EXPECT_EQ(full.max_loops, 8u);
   EXPECT_EQ(full.max_exits_per_loop, 4u);
   EXPECT_EQ(full.max_entries_per_loop, 4u);
-  const auto lite = capacity(ZolcVariant::kLite);
+  EXPECT_EQ(full, ZolcGeometry{});  // the default geometry IS the paper's
+  const auto lite = ZolcGeometry::paper(ZolcVariant::kLite);
   EXPECT_EQ(lite.max_exits_per_loop, 0u);
-  const auto micro = capacity(ZolcVariant::kMicro);
+  const auto micro = ZolcGeometry::paper(ZolcVariant::kMicro);
   EXPECT_EQ(micro.max_loops, 1u);
   EXPECT_EQ(micro.max_tasks, 0u);
+}
+
+TEST(Geometry, DerivedFieldWidthsAndValidation) {
+  const ZolcGeometry paper;
+  EXPECT_EQ(paper.task_id_bits(), 5u);
+  EXPECT_EQ(paper.loop_id_bits(), 3u);
+  EXPECT_EQ(paper.task_entry_bits(), 31u);   // 16 + 3 + 2*5 + 2
+  EXPECT_EQ(paper.exit_record_bits(), 32u);  // 16 + 5 + 8 + 3
+  EXPECT_EQ(paper.record_words(), 1u);
+  EXPECT_TRUE(paper.valid());
+
+  // A deeper geometry: 16 loops still packs a task entry into one word.
+  const ZolcGeometry deep{32, 16, 4, 4};
+  EXPECT_EQ(deep.loop_id_bits(), 4u);
+  EXPECT_EQ(deep.task_entry_bits(), 32u);
+  EXPECT_TRUE(deep.valid());
+  // Its exit records spill into a second init word (16+5+16+3 = 40 bits).
+  EXPECT_EQ(deep.record_words(), 2u);
+
+  // Too many loops for the snapshot machinery / too many ids for the word.
+  EXPECT_FALSE((ZolcGeometry{32, 64, 4, 4}.valid()));
+  EXPECT_FALSE((ZolcGeometry{256, 32, 4, 4}.valid()));
+  EXPECT_FALSE((ZolcGeometry{32, 8, 4, 4, 4}.valid()));  // pc_ofs too narrow
+}
+
+TEST(AreaModel, ExtendedGeometryScalesStorage) {
+  // Doubling the loop table adds exactly 8 x 64 storage bits on ZOLClite.
+  const auto paper = area_model(ZolcVariant::kLite);
+  const auto deeper = area_model(ZolcVariant::kLite, ZolcGeometry{32, 16, 0, 0});
+  EXPECT_EQ(deeper.storage_bits - paper.storage_bits, 8u * 64);
+  // Geometry with fewer tasks shrinks the LUT: 16 x (32+16) bits less.
+  const auto smaller = area_model(ZolcVariant::kLite, ZolcGeometry{16, 8, 0, 0});
+  EXPECT_EQ(paper.storage_bits - smaller.storage_bits, 16u * 48);
+  // uZOLC storage is geometry-independent.
+  EXPECT_EQ(area_model(ZolcVariant::kMicro, ZolcGeometry{32, 16, 4, 4})
+                .storage_bytes,
+            30u);
+  // Structural gates grow monotonically with the geometry.
+  const auto full_paper = area_model(ZolcVariant::kFull);
+  const auto full_big = area_model(ZolcVariant::kFull, ZolcGeometry{32, 16, 4, 4});
+  EXPECT_GT(full_big.structural_gates, full_paper.structural_gates);
+  EXPECT_GT(full_big.storage_bytes, full_paper.storage_bytes);
 }
 
 }  // namespace

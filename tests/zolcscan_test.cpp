@@ -193,5 +193,58 @@ INSTANTIATE_TEST_SUITE_P(CompiledKernels, ScanKernels,
                            return std::string(i.param);
                          });
 
+// ---------------- deep-nest binaries ----------------
+
+TEST(ZolcScan, DeepNestBinaryIsScannable) {
+  // A 10-deep XRdefault nest recycles bound registers by re-materializing
+  // the constant in every latch; the safety scan must recognize the
+  // same-constant rewrite as a no-op, and the geometry-derived window must
+  // reach the constants past the stacked loop prologues.
+  const auto* kernel = kernels::find_kernel("deepnest10");
+  ASSERT_NE(kernel, nullptr);
+  const kernels::KernelEnv env;
+  auto prog = codegen::lower(kernel->build(env),
+                             codegen::MachineKind::kXrDefault, kBase);
+  ASSERT_TRUE(prog.ok()) << prog.error().message;
+
+  const auto options =
+      ScanOptions::for_geometry(zolc::ZolcGeometry{32, 16, 4, 4});
+  EXPECT_GT(options.init_window, 8u);
+  const auto report = scan_for_micro_loops(prog.value().code, kBase, options);
+  ASSERT_FALSE(report.candidates.empty()) << [&] {
+    std::string all;
+    for (const auto& r : report.rejected) all += r + "; ";
+    return all;
+  }();
+  const MicroPlan* plan = report.best();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->depth, 10u);
+
+  // The patched binary still verifies and is faster under the uZOLC.
+  mem::Memory base_mem;
+  prog.value().load_into(base_mem);
+  kernel->setup(env, base_mem);
+  cpu::Pipeline baseline(base_mem);
+  baseline.set_pc(kBase);
+  baseline.run(100'000'000);
+
+  const auto patched = apply_patch(prog.value().code, *plan);
+  mem::Memory fast_mem;
+  std::vector<std::uint32_t> words;
+  for (const auto& instr : patched) words.push_back(isa::encode(instr));
+  fast_mem.load_words(kBase, words);
+  kernel->setup(env, fast_mem);
+  zolc::ZolcController micro(zolc::ZolcVariant::kMicro);
+  program_micro_controller(micro, *plan);
+  cpu::Pipeline fast(fast_mem);
+  fast.set_accelerator(&micro);
+  fast.set_pc(kBase);
+  fast.run(100'000'000);
+
+  const auto verified = kernel->verify(env, fast_mem);
+  EXPECT_TRUE(verified.ok()) << (verified.ok() ? "" : verified.error().message);
+  EXPECT_LT(fast.stats().cycles, baseline.stats().cycles);
+}
+
 }  // namespace
 }  // namespace zolcsim::cfg
