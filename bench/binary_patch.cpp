@@ -7,10 +7,11 @@
 #include <string>
 
 #include "cfg/zolcscan.hpp"
-#include "codegen/lower.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "cpu/pipeline.hpp"
+#include "flow/compiled_unit.hpp"
+#include "flow/workload.hpp"
 #include "isa/encoding.hpp"
 #include "kernels/kernels.hpp"
 
@@ -24,17 +25,22 @@ int main() {
                    "patched+uZOLC", "reduction", "verified"});
   for (const auto& kernel : kernels::kernel_registry()) {
     const kernels::KernelEnv env;
-    auto prog = codegen::lower(kernel->build(env),
-                               codegen::MachineKind::kXrDefault, kBase);
-    if (!prog.ok()) continue;
+    // The compile-stage artifact already carries the zolcscan analysis
+    // (geometry-derived init window, a superset of the old fixed-8 scan;
+    // identical plans for this suite -- verified against the seed output).
+    flow::CompileSpec spec;
+    spec.kernel = std::string(kernel->name());
+    spec.machine = codegen::MachineKind::kXrDefault;
+    spec.env = env;
+    const auto unit = flow::CompiledUnit::compile(spec);
+    if (!unit.ok()) continue;
+    const codegen::Program& prog = unit.value().program();
 
-    const auto report = cfg::scan_for_micro_loops(prog.value().code, kBase);
+    const cfg::ScanReport& report = unit.value().scan();
     const cfg::MicroPlan* plan = report.best();
 
-    mem::Memory base_mem;
-    prog.value().load_into(base_mem);
-    kernel->setup(env, base_mem);
-    cpu::Pipeline baseline(base_mem);
+    flow::Workload baseline_load = flow::Workload::prepare(unit.value());
+    cpu::Pipeline baseline(baseline_load.memory());
     baseline.set_pc(kBase);
     baseline.run(200'000'000);
 
@@ -45,7 +51,7 @@ int main() {
       continue;
     }
 
-    const auto patched = cfg::apply_patch(prog.value().code, *plan);
+    const auto patched = cfg::apply_patch(prog.code, *plan);
     mem::Memory fast_mem;
     std::vector<std::uint32_t> words;
     for (const auto& instr : patched) words.push_back(isa::encode(instr));

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   spec.threads = harness::threads_from_args(argc, argv);
   const auto swept = harness::run_sweep(spec);
   if (!swept.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", swept.error().message.c_str());
+    std::fprintf(stderr, "FAILED: %s\n", swept.error().to_string().c_str());
     return 1;
   }
   const harness::SweepReport& report = swept.value();

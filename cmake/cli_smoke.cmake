@@ -1,0 +1,34 @@
+# CLI smoke test: run `zolcsim sweep` on one kernel and validate the CSV
+# schema against the checked-in golden header. Invoked by CTest as
+#   cmake -DCLI=<zolcsim> -DGOLDEN=<sweep_header.csv> -DOUT=<scratch.csv>
+#        -P cli_smoke.cmake
+# Guards the CLI wiring end-to-end (arg parsing -> sweep engine -> CSV
+# emitter) and pins the paper-default CSV schema.
+if(NOT CLI OR NOT GOLDEN OR NOT OUT)
+  message(FATAL_ERROR "cli_smoke.cmake needs -DCLI=, -DGOLDEN=, -DOUT=")
+endif()
+
+execute_process(
+  COMMAND ${CLI} sweep --kernels=dotprod --machines=XRdefault,ZOLClite
+          --threads=1 --out=${OUT}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr_text
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zolcsim sweep failed (${rc}): ${stderr_text}")
+endif()
+
+file(STRINGS ${OUT} produced LIMIT_COUNT 1)
+file(STRINGS ${GOLDEN} expected LIMIT_COUNT 1)
+if(NOT produced STREQUAL expected)
+  message(FATAL_ERROR
+      "CSV header drifted from the golden schema\n  produced: ${produced}\n"
+      "  expected: ${expected}")
+endif()
+
+# The sweep must have produced one row per (kernel, machine) cell.
+file(STRINGS ${OUT} all_lines)
+list(LENGTH all_lines line_count)
+if(NOT line_count EQUAL 3)
+  message(FATAL_ERROR "expected header + 2 cells, got ${line_count} lines")
+endif()

@@ -9,8 +9,8 @@
 #include <string>
 
 #include "cfg/cfg.hpp"
-#include "codegen/lower.hpp"
 #include "cpu/iss.hpp"
+#include "flow/compiled_unit.hpp"
 #include "isa/disasm.hpp"
 #include "kernels/kernels.hpp"
 #include "zolc/controller.hpp"
@@ -32,27 +32,30 @@ int main(int argc, char** argv) {
               std::string(kernel->description()).c_str());
 
   // ---- software shape ----
-  const auto sw = codegen::lower(kernel->build({}),
-                                 codegen::MachineKind::kXrDefault);
+  flow::CompileSpec spec;
+  spec.kernel = name;
+  spec.machine = codegen::MachineKind::kXrDefault;
+  const auto sw = flow::CompiledUnit::compile(spec);
   if (!sw.ok()) {
-    std::fprintf(stderr, "lowering failed: %s\n",
-                 sw.error().message.c_str());
+    std::fprintf(stderr, "compile failed: %s\n",
+                 sw.error().to_string().c_str());
     return 1;
   }
-  cfg::Cfg graph(sw.value().code, sw.value().base);
+  const codegen::Program& sw_prog = sw.value().program();
+  cfg::Cfg graph(sw_prog.code, sw_prog.base);
   const auto forest = cfg::find_loops(graph);
   std::printf("software (XRdefault) control-flow structure:\n%s\n",
               cfg::describe_structure(graph, forest).c_str());
 
   // ---- ZOLCfull lowering ----
-  const auto hw = codegen::lower(kernel->build({}),
-                                 codegen::MachineKind::kZolcFull);
+  spec.machine = codegen::MachineKind::kZolcFull;
+  const auto hw = flow::CompiledUnit::compile(spec);
   if (!hw.ok()) {
-    std::fprintf(stderr, "lowering failed: %s\n",
-                 hw.error().message.c_str());
+    std::fprintf(stderr, "compile failed: %s\n",
+                 hw.error().to_string().c_str());
     return 1;
   }
-  const codegen::Program& prog = hw.value();
+  const codegen::Program& prog = hw.value().program();
   std::printf("ZOLCfull lowering: %zu words total, %u init, %u hardware / "
               "%u software loops\n",
               prog.size_words(), prog.init_instructions, prog.hw_loop_count,

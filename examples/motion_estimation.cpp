@@ -7,6 +7,8 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "flow/compiled_unit.hpp"
+#include "flow/run.hpp"
 #include "harness/experiment.hpp"
 
 int main() {
@@ -24,9 +26,19 @@ int main() {
                      "ZOLC exit hits", "notes"});
     std::uint64_t baseline = 0;
     for (const MachineKind machine : codegen::kAllMachines) {
-      const auto result = harness::run_experiment(*kernel, machine);
+      // Staged flow: compile the unit, then run it (one config here; the
+      // split pays off when a unit is run under many).
+      flow::CompileSpec spec;
+      spec.kernel = name;
+      spec.machine = machine;
+      const auto unit = flow::CompiledUnit::compile(spec);
+      const auto result = unit.ok()
+                              ? flow::run(unit.value())
+                              : Result<harness::ExperimentResult>(
+                                    Error(unit.error()));
       if (!result.ok()) {
-        std::fprintf(stderr, "FAILED: %s\n", result.error().message.c_str());
+        std::fprintf(stderr, "FAILED: %s\n",
+                     result.error().to_string().c_str());
         return 1;
       }
       const auto& r = result.value();

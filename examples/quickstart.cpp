@@ -1,71 +1,80 @@
-// Quickstart: the whole zolcsim flow in one file.
+// Quickstart: the staged zolcsim toolchain in one file.
 //
-//   1. Describe a loop kernel in the structured kernel IR.
-//   2. Lower it for the baseline core and for a ZOLC-equipped core.
-//   3. Run both on the cycle-accurate pipeline and compare cycles.
+//   1. Compile stage -- flow::CompiledUnit::compile() turns a (kernel,
+//      machine, geometry, env) point into an immutable artifact: lowered
+//      program, predecoded image, zolcscan metadata.
+//   2. Runtime stage -- flow::run() executes that unit under any number of
+//      pipeline configurations without recompiling.
+//   3. Comparison -- a second unit for the unmodified core gives the
+//      paper's cycle-reduction metric.
+//
+// The same flow drives the `zolcsim` CLI:
+//   zolcsim compile fir --machine=ZOLClite --disasm
+//   zolcsim run fir --machine=ZOLClite
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
-#include <memory>
 
-#include "codegen/lower.hpp"
-#include "cpu/pipeline.hpp"
-#include "isa/build.hpp"
-#include "zolc/controller.hpp"
+#include "flow/compiled_unit.hpp"
+#include "flow/run.hpp"
+#include "harness/experiment.hpp"
 
 int main() {
   using namespace zolcsim;
-  namespace b = isa::build;
 
-  // --- 1. A small kernel: acc = sum of i*i for i in [0, 100). -------------
-  codegen::KernelBuilder kb;
-  kb.li(16, 0);                       // acc
-  kb.for_count(/*index reg=*/1, /*initial=*/0, /*final=*/100, /*step=*/1, [&] {
-    kb.op(b::mul(2, 1, 1));           // i*i
-    kb.op(b::add(16, 16, 2));         // acc +=
-  });
-  const auto kernel = kb.take();
+  // --- 1. Compile once per machine. ---------------------------------------
+  flow::CompileSpec spec;
+  spec.kernel = "fir";  // 16-tap FIR filter from the paper suite
+  spec.machine = codegen::MachineKind::kZolcLite;
+  const auto zolc_unit = flow::CompiledUnit::compile(spec);
 
-  // --- 2. Lower for both machines. ----------------------------------------
-  const auto baseline =
-      codegen::lower(kernel, codegen::MachineKind::kXrDefault);
-  const auto zolc = codegen::lower(kernel, codegen::MachineKind::kZolcLite);
-  if (!baseline.ok() || !zolc.ok()) {
-    std::fprintf(stderr, "lowering failed\n");
+  spec.machine = codegen::MachineKind::kXrDefault;
+  const auto base_unit = flow::CompiledUnit::compile(spec);
+
+  if (!zolc_unit.ok() || !base_unit.ok()) {
+    const Error& error =
+        zolc_unit.ok() ? base_unit.error() : zolc_unit.error();
+    std::fprintf(stderr, "compile failed: %s\n", error.to_string().c_str());
     return 1;
   }
   std::printf("baseline image: %zu words, ZOLC image: %zu words "
-              "(%u of them one-time init)\n",
-              baseline.value().size_words(), zolc.value().size_words(),
-              zolc.value().init_instructions);
+              "(%u of them one-time init, %u hardware loops)\n",
+              base_unit.value().program().size_words(),
+              zolc_unit.value().program().size_words(),
+              zolc_unit.value().program().init_instructions,
+              zolc_unit.value().program().hw_loop_count);
 
-  // --- 3. Run. -------------------------------------------------------------
-  const auto run = [](const codegen::Program& prog) {
-    mem::Memory memory;
-    prog.load_into(memory);
-    std::unique_ptr<zolc::ZolcController> controller;
-    if (const auto variant = codegen::machine_zolc_variant(prog.machine)) {
-      controller = std::make_unique<zolc::ZolcController>(*variant);
+  // --- 2. Run the compiled units (recompile-free per config). -------------
+  const auto run_once = [](const flow::CompiledUnit& unit,
+                           const flow::RunPlan& plan) -> std::uint64_t {
+    const auto result = flow::run(unit, plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.error().to_string().c_str());
+      std::exit(1);
     }
-    cpu::Pipeline pipe(memory);
-    pipe.set_accelerator(controller.get());
-    pipe.set_pc(prog.base);
-    pipe.run(1'000'000);
-    std::printf("  %-10s %6llu cycles, %6llu instructions, acc = %d\n",
-                std::string(codegen::machine_name(prog.machine)).c_str(),
-                static_cast<unsigned long long>(pipe.stats().cycles),
-                static_cast<unsigned long long>(pipe.stats().instructions),
-                pipe.regs().read(16));
-    return pipe.stats().cycles;
+    std::printf("  %-10s %6llu cycles, %6llu instructions (verified)\n",
+                std::string(codegen::machine_name(unit.machine())).c_str(),
+                static_cast<unsigned long long>(result.value().stats.cycles),
+                static_cast<unsigned long long>(
+                    result.value().stats.instructions));
+    return result.value().stats.cycles;
   };
 
   std::printf("running on the 5-stage cycle-accurate pipeline:\n");
-  const auto base_cycles = run(baseline.value());
-  const auto zolc_cycles = run(zolc.value());
+  const std::uint64_t base_cycles = run_once(base_unit.value(), {});
+  const std::uint64_t zolc_cycles = run_once(zolc_unit.value(), {});
 
+  // The same ZOLC unit again under a different pipeline configuration --
+  // this is the step the compile-once split makes free.
+  flow::RunPlan early;
+  early.config.branch_resolve = cpu::BranchResolveStage::kDecode;
+  std::printf("same compiled unit, ID-resolve pipeline:\n");
+  run_once(zolc_unit.value(), early);
+
+  // --- 3. The paper's metric. ---------------------------------------------
   std::printf("\nZOLC removes the loop's index update, compare-branch and "
               "flush:\n  %.1f%% fewer cycles\n",
-              100.0 * (1.0 - static_cast<double>(zolc_cycles) /
-                                 static_cast<double>(base_cycles)));
+              harness::percent_reduction(base_cycles, zolc_cycles));
   return 0;
 }

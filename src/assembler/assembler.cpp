@@ -17,6 +17,16 @@ using isa::Instruction;
 using isa::Opcode;
 
 constexpr std::uint32_t kDefaultTextBase = 0x0000'1000;
+/// Error constructors for the two assembler failure classes: syntax and
+/// directive problems (kParse) vs encoding-range/alignment violations
+/// (kEncode).
+Error parse_error(std::string msg, int line) {
+  return Error{ErrorCode::kParse, std::move(msg), line};
+}
+Error encode_error(std::string msg, int line) {
+  return Error{ErrorCode::kEncode, std::move(msg), line};
+}
+
 constexpr std::uint32_t kDefaultDataBase = 0x0010'0000;
 
 struct Statement {
@@ -67,7 +77,7 @@ Result<std::vector<Statement>> parse(std::string_view source) {
         text.substr(0, colon).find_first_of(" \t") == std::string_view::npos) {
       st.label = std::string(trim(text.substr(0, colon)));
       if (st.label.empty()) {
-        return Error{"empty label", line_no};
+        return parse_error("empty label", line_no);
       }
       text = trim(text.substr(colon + 1));
     }
@@ -112,7 +122,7 @@ class Assembler {
       if (st.directive == "byte") return count * 1;
       if (st.directive == "space") {
         const auto n = parse_int(st.operands.empty() ? "" : st.operands[0]);
-        if (!n || *n < 0) return Error{"bad .space size", st.line};
+        if (!n || *n < 0) return parse_error("bad .space size", st.line);
         return static_cast<std::uint32_t>(*n);
       }
       return 0u;  // org/text/data/align handled in layout
@@ -121,7 +131,7 @@ class Assembler {
     if (st.mnemonic == "li") return 8u;  // always lui+ori
     if (st.mnemonic == "nop") return 4u;
     if (isa::opcode_from_mnemonic(st.mnemonic)) return 4u;
-    return Error{"unknown mnemonic '" + st.mnemonic + "'", st.line};
+    return parse_error("unknown mnemonic '" + st.mnemonic + "'", st.line);
   }
 
   Result<void> layout_pass() {
@@ -140,13 +150,13 @@ class Assembler {
         std::uint32_t& new_pc = in_text ? text_pc : data_pc;
         if (!st.operands.empty()) {
           const auto addr = parse_int(st.operands[0]);
-          if (!addr) return Error{"bad section address", st.line};
+          if (!addr) return parse_error("bad section address", st.line);
           new_pc = static_cast<std::uint32_t>(*addr);
         }
         addresses_[i] = new_pc;
         if (!st.label.empty()) {
           if (!define_symbol(st.label, new_pc, st.line)) {
-            return Error{"duplicate label '" + st.label + "'", st.line};
+            return parse_error("duplicate label '" + st.label + "'", st.line);
           }
         }
         continue;
@@ -154,13 +164,13 @@ class Assembler {
       if (st.directive == "org") {
         const auto addr =
             parse_int(st.operands.empty() ? "" : st.operands[0]);
-        if (!addr) return Error{"bad .org address", st.line};
+        if (!addr) return parse_error("bad .org address", st.line);
         pc = static_cast<std::uint32_t>(*addr);
       }
       if (st.directive == "align") {
         const auto n = parse_int(st.operands.empty() ? "" : st.operands[0]);
         if (!n || *n <= 0 || (*n & (*n - 1)) != 0) {
-          return Error{"bad .align (need a power of two)", st.line};
+          return parse_error("bad .align (need a power of two)", st.line);
         }
         pc = align_up(pc, static_cast<std::uint32_t>(*n));
       }
@@ -168,7 +178,7 @@ class Assembler {
       addresses_[i] = pc;
       if (!st.label.empty()) {
         if (!define_symbol(st.label, pc, st.line)) {
-          return Error{"duplicate label '" + st.label + "'", st.line};
+          return parse_error("duplicate label '" + st.label + "'", st.line);
         }
       }
       if (in_text && !st.mnemonic.empty() && !entry_set) {
@@ -176,7 +186,7 @@ class Assembler {
         entry_set = true;
       }
       if (in_text && !st.mnemonic.empty() && !is_aligned(pc, 4)) {
-        return Error{"instruction at unaligned address", st.line};
+        return encode_error("instruction at unaligned address", st.line);
       }
       auto size = statement_size(st);
       if (!size.ok()) return size.error();
@@ -197,12 +207,12 @@ class Assembler {
     if (it != program_.symbols.end()) {
       return static_cast<std::int64_t>(it->second);
     }
-    return Error{"undefined symbol '" + token + "'", line};
+    return parse_error("undefined symbol '" + token + "'", line);
   }
 
   Result<std::uint8_t> reg(const std::string& token, int line) const {
     const auto r = isa::reg_from_name(token);
-    if (!r) return Error{"bad register '" + token + "'", line};
+    if (!r) return parse_error("bad register '" + token + "'", line);
     return static_cast<std::uint8_t>(*r);
   }
 
@@ -221,9 +231,10 @@ class Assembler {
     const int line = st.line;
     const auto need = [&](std::size_t n) -> Result<void> {
       if (st.operands.size() != n) {
-        return Error{"expected " + std::to_string(n) + " operand(s), got " +
-                         std::to_string(st.operands.size()),
-                     line};
+        return parse_error("expected " + std::to_string(n) +
+                               " operand(s), got " +
+                               std::to_string(st.operands.size()),
+                           line);
       }
       return {};
     };
@@ -260,10 +271,10 @@ class Assembler {
       if (!target.ok()) return target.error();
       const std::int64_t delta =
           target.value() - (static_cast<std::int64_t>(pc) + 4);
-      if (delta % 4 != 0) return Error{"misaligned branch target", line};
+      if (delta % 4 != 0) return encode_error("misaligned branch target", line);
       const std::int64_t words = delta / 4;
       if (!fits_signed(words, 16)) {
-        return Error{"branch target out of range", line};
+        return encode_error("branch target out of range", line);
       }
       return static_cast<std::int32_t>(words);
     };
@@ -292,7 +303,7 @@ class Assembler {
         if (!rt.ok()) return rt.error();
         if (!sh.ok()) return sh.error();
         if (sh.value() < 0 || sh.value() > 31) {
-          return Error{"shift amount out of range", line};
+          return encode_error("shift amount out of range", line);
         }
         instr.rd = rd.value();
         instr.rt = rt.value();
@@ -328,7 +339,7 @@ class Assembler {
                               ? fits_signed(imm.value(), 16)
                               : fits_unsigned(
                                     static_cast<std::uint64_t>(imm.value()), 16);
-        if (!fits) return Error{"immediate out of range", line};
+        if (!fits) return encode_error("immediate out of range", line);
         instr.rt = rt.value();
         instr.rs = rs.value();
         instr.imm = static_cast<std::int32_t>(imm.value());
@@ -341,7 +352,7 @@ class Assembler {
         if (!rt.ok()) return rt.error();
         if (!imm.ok()) return imm.error();
         if (!fits_unsigned(static_cast<std::uint64_t>(imm.value()), 16)) {
-          return Error{"immediate out of range", line};
+          return encode_error("immediate out of range", line);
         }
         instr.rt = rt.value();
         instr.imm = static_cast<std::int32_t>(imm.value());
@@ -380,7 +391,7 @@ class Assembler {
         const auto close = addr.rfind(')');
         if (open == std::string::npos || close == std::string::npos ||
             close < open) {
-          return Error{"expected offset(base) operand", line};
+          return parse_error("expected offset(base) operand", line);
         }
         const std::string ofs_text(trim(addr.substr(0, open)));
         auto base = reg(std::string(trim(
@@ -391,7 +402,7 @@ class Assembler {
                                     : eval(ofs_text, line);
         if (!ofs.ok()) return ofs.error();
         if (!fits_signed(ofs.value(), 16)) {
-          return Error{"memory offset out of range", line};
+          return encode_error("memory offset out of range", line);
         }
         instr.rt = rt.value();
         instr.rs = base.value();
@@ -403,10 +414,12 @@ class Assembler {
         auto target = eval(st.operands[0], line);
         if (!target.ok()) return target.error();
         const auto addr = static_cast<std::uint32_t>(target.value());
-        if (!is_aligned(addr, 4)) return Error{"misaligned jump target", line};
+        if (!is_aligned(addr, 4)) {
+          return encode_error("misaligned jump target", line);
+        }
         if (((pc + 4) & 0xF000'0000u) != (addr & 0xF000'0000u)) {
-          return Error{"jump target outside the current 256 MiB region",
-                       line};
+          return encode_error("jump target outside the current 256 MiB region",
+                       line);
         }
         instr.target = (addr >> 2) & 0x03FF'FFFFu;
         break;
@@ -418,7 +431,7 @@ class Assembler {
         if (!idx.ok()) return idx.error();
         if (!rs.ok()) return rs.error();
         if (idx.value() < 0 || idx.value() > 255) {
-          return Error{"table index out of range", line};
+          return encode_error("table index out of range", line);
         }
         instr.zidx = static_cast<std::uint8_t>(idx.value());
         instr.rs = rs.value();

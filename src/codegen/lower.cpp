@@ -58,7 +58,7 @@ class Emitter {
       ZS_ASSERT(target >= 0);
       const int ofs = target - (f.at + 1);
       if (!fits_signed(ofs, 16)) {
-        return Error{"branch offset out of range"};
+        return Error{ErrorCode::kCapacity, "branch offset out of range"};
       }
       code_[static_cast<unsigned>(f.at)].imm = ofs;
     }
@@ -89,50 +89,54 @@ bool uses_reserved_reg(const Instruction& instr) {
 
 Result<void> validate(std::span<const KNode> nodes, unsigned depth,
                       bool inside_loop) {
+  const auto invalid = [](std::string msg) {
+    return Error{ErrorCode::kInvalidKernel, std::move(msg)};
+  };
   if (depth > kMaxLoweringDepth) {
-    return Error{"loop nesting deeper than " +
-                 std::to_string(kMaxLoweringDepth) + " is not supported"};
+    return invalid("loop nesting deeper than " +
+                   std::to_string(kMaxLoweringDepth) + " is not supported");
   }
   for (const KNode& node : nodes) {
     if (const auto* kop = std::get_if<KOp>(&node)) {
-      if (!kop->instr.valid()) return Error{"invalid instruction in kernel"};
+      if (!kop->instr.valid()) return invalid("invalid instruction in kernel");
       const isa::OpcodeInfo& info = isa::opcode_info(kop->instr.op);
       if (info.is_cond_branch || info.is_jump || info.is_zolc ||
           kop->instr.op == Opcode::kHalt) {
-        return Error{"raw control-flow/zolc/halt instructions are not "
-                     "allowed in kernels; use structured constructs"};
+        return invalid(
+            "raw control-flow/zolc/halt instructions are not "
+            "allowed in kernels; use structured constructs");
       }
       if (uses_reserved_reg(kop->instr)) {
-        return Error{"kernel uses a reserved register (r24-r27)"};
+        return invalid("kernel uses a reserved register (r24-r27)");
       }
     } else if (const auto* kfor = std::get_if<KFor>(&node)) {
       if (kfor->index_reg == 0 || kfor->index_reg >= isa::kNumRegs) {
-        return Error{"loop index register out of range"};
+        return invalid("loop index register out of range");
       }
       if (kfor->index_reg >= 24 && kfor->index_reg <= 27) {
-        return Error{"loop index register collides with the reserved pool"};
+        return invalid("loop index register collides with the reserved pool");
       }
       if (trip_count(*kfor) <= 0) {
-        return Error{"loop has zero or negative trip count"};
+        return invalid("loop has zero or negative trip count");
       }
-      if (kfor->body.empty()) return Error{"empty loop body"};
+      if (kfor->body.empty()) return invalid("empty loop body");
       if (body_writes_reg(kfor->body, kfor->index_reg)) {
-        return Error{"loop body writes the loop index register"};
+        return invalid("loop body writes the loop index register");
       }
       if (auto r = validate(kfor->body, depth + 1, true); !r.ok()) return r;
     } else if (const auto* kif = std::get_if<KIf>(&node)) {
-      if (kif->body.empty()) return Error{"empty if body"};
+      if (kif->body.empty()) return invalid("empty if body");
       switch (kif->cond) {
         case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
         case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
         case Opcode::kBlez: case Opcode::kBgtz:
           break;
         default:
-          return Error{"if condition must be a conditional branch opcode"};
+          return invalid("if condition must be a conditional branch opcode");
       }
       if (auto r = validate(kif->body, depth, inside_loop); !r.ok()) return r;
     } else if (std::holds_alternative<KBreakIf>(node)) {
-      if (!inside_loop) return Error{"break outside of any loop"};
+      if (!inside_loop) return invalid("break outside of any loop");
     }
   }
   return {};
@@ -590,7 +594,7 @@ Result<ZolcPlan> build_task_plan(LowerCtx& ctx, std::span<const KNode> roots) {
     }
   }
   if (plan.tasks.size() > ctx.geom.max_tasks) {
-    return Error{"task selection LUT capacity (" +
+    return Error{ErrorCode::kCapacity, "task selection LUT capacity (" +
                  std::to_string(ctx.geom.max_tasks) + ") exceeded"};
   }
 
@@ -603,7 +607,7 @@ Result<ZolcPlan> build_task_plan(LowerCtx& ctx, std::span<const KNode> roots) {
     ZS_ASSERT(exiting.hw && scope.hw);
     const auto bank = static_cast<unsigned>(scope.hw_id);
     if (used[bank] >= ctx.geom.max_exits_per_loop) {
-      return Error{"more than " +
+      return Error{ErrorCode::kCapacity, "more than " +
                    std::to_string(ctx.geom.max_exits_per_loop) +
                    " candidate exits for one loop (exit record capacity)"};
     }
@@ -642,7 +646,9 @@ void emit_table_write(Emitter& e, Opcode op, std::uint8_t idx,
 Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
                       std::uint32_t base, const zolc::ZolcGeometry& geometry) {
   if (auto v = validate(kernel, 0, false); !v.ok()) return v.error();
-  if (!geometry.valid()) return Error{"invalid ZOLC geometry"};
+  if (!geometry.valid()) {
+    return Error{ErrorCode::kBadConfig, "invalid ZOLC geometry"};
+  }
 
   Program prog;
   prog.base = base;
@@ -764,8 +770,9 @@ Result<Program> lower(std::span<const KNode> kernel, MachineKind machine,
   // init + body outgrows the window would silently alias offsets (pack
   // masks them), so reject it here with a diagnosable error instead.
   if (init_len + body.value().size() - 1 > mask32(ctx.geom.pc_ofs_bits)) {
-    return Error{"program exceeds the geometry's PC-offset window (" +
-                 std::to_string(ctx.geom.pc_ofs_bits) + " bits)"};
+    return Error{ErrorCode::kCapacity,
+                 "program exceeds the geometry's PC-offset window (" +
+                     std::to_string(ctx.geom.pc_ofs_bits) + " bits)"};
   }
 
   const auto rel_to_ofs = [init_len](int rel) {

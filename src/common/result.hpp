@@ -3,28 +3,93 @@
 // (E.2/E.14 area), exceptions are reserved for contract violations and
 // simulator traps; everything a caller is expected to handle flows through
 // Result.
+//
+// Errors are structured: a machine-checkable ErrorCode (what class of thing
+// went wrong), a human-readable message (the innermost detail), and a context
+// chain that grows as the error propagates up through the staged toolchain
+// (kernel -> lowering -> run), so callers can both branch on the code and
+// print a full "where it happened" trail.
 #ifndef ZOLCSIM_COMMON_RESULT_HPP
 #define ZOLCSIM_COMMON_RESULT_HPP
 
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "common/contracts.hpp"
 
 namespace zolcsim {
 
-/// An error with a human-readable message and optional source location info
-/// (used by the assembler to report line numbers).
+/// Machine-checkable failure classes. Tests and tools branch on these, never
+/// on message text.
+enum class ErrorCode : std::uint8_t {
+  kUnknown = 0,     ///< unclassified (avoid: classify at the throw site)
+  kParse,           ///< assembler syntax / directive / operand errors
+  kEncode,          ///< instruction encoding range violations (imm/offset)
+  kBadConfig,       ///< invalid geometry, sweep spec, or CLI usage
+  kUnknownKernel,   ///< kernel name not present in any registry
+  kInvalidKernel,   ///< malformed KIR (reserved regs, zero-trip loops, ...)
+  kCapacity,        ///< ZOLC table / window capacity overrun, no SW fallback
+  kSimulation,      ///< simulator trap or cycle-budget exhaustion
+  kVerifyMismatch,  ///< output differs from the golden reference
+  kIo,              ///< file read/write failure (CLI)
+};
+
+[[nodiscard]] constexpr std::string_view error_code_name(
+    ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kUnknown:        return "unknown";
+    case ErrorCode::kParse:          return "parse";
+    case ErrorCode::kEncode:         return "encode";
+    case ErrorCode::kBadConfig:      return "bad-config";
+    case ErrorCode::kUnknownKernel:  return "unknown-kernel";
+    case ErrorCode::kInvalidKernel:  return "invalid-kernel";
+    case ErrorCode::kCapacity:       return "capacity";
+    case ErrorCode::kSimulation:     return "simulation";
+    case ErrorCode::kVerifyMismatch: return "verify-mismatch";
+    case ErrorCode::kIo:             return "io";
+  }
+  return "?";
+}
+
+/// A structured error: code + innermost message + outermost-first context
+/// chain, with optional source line info (used by the assembler).
 struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
   std::string message;
+  std::vector<std::string> context;  ///< outermost frame first
   int line = 0;  ///< 1-based source line when applicable; 0 = not applicable.
 
+  Error() = default;
+  Error(ErrorCode code, std::string message, int line = 0)
+      : code(code), message(std::move(message)), line(line) {}
+
+  /// Returns this error with `frame` prepended as the new outermost context
+  /// (value-chaining style: `return std::move(e).with_context("lowering")`).
+  [[nodiscard]] Error with_context(std::string frame) && {
+    context.insert(context.begin(), std::move(frame));
+    return std::move(*this);
+  }
+  [[nodiscard]] Error with_context(std::string frame) const& {
+    Error copy = *this;
+    return std::move(copy).with_context(std::move(frame));
+  }
+
+  /// "ctx1: ctx2: line N: message" -- the full trail, outermost first.
   [[nodiscard]] std::string to_string() const {
-    if (line > 0) {
-      return "line " + std::to_string(line) + ": " + message;
+    std::string out;
+    for (const std::string& frame : context) {
+      out += frame;
+      out += ": ";
     }
-    return message;
+    if (line > 0) {
+      out += "line " + std::to_string(line) + ": ";
+    }
+    out += message;
+    return out;
   }
 };
 
@@ -32,6 +97,8 @@ struct Error {
 template <typename T>
 class [[nodiscard]] Result {
  public:
+  using value_type = T;
+
   // Intentionally implicit so `return value;` and `return error;` both work
   // at call sites (mirrors std::expected).
   Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
@@ -61,6 +128,43 @@ class [[nodiscard]] Result {
     ZS_EXPECTS(!ok());
     return std::get<Error>(data_);
   }
+  [[nodiscard]] Error&& error() && {
+    ZS_EXPECTS(!ok());
+    return std::get<Error>(std::move(data_));
+  }
+
+  /// Applies `f` to the value; errors pass through untouched.
+  /// `Result<T> -> Result<decltype(f(T))>`.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) && -> Result<std::invoke_result_t<F, T&&>> {
+    if (!ok()) return std::get<Error>(std::move(data_));
+    return std::forward<F>(f)(std::get<T>(std::move(data_)));
+  }
+  template <typename F>
+  [[nodiscard]] auto map(
+      F&& f) const& -> Result<std::invoke_result_t<F, const T&>> {
+    if (!ok()) return std::get<Error>(data_);
+    return std::forward<F>(f)(std::get<T>(data_));
+  }
+
+  /// Monadic chain: `f` returns a Result itself; errors short-circuit.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    if (!ok()) return std::get<Error>(std::move(data_));
+    return std::forward<F>(f)(std::get<T>(std::move(data_)));
+  }
+  template <typename F>
+  [[nodiscard]] auto and_then(
+      F&& f) const& -> std::invoke_result_t<F, const T&> {
+    if (!ok()) return std::get<Error>(data_);
+    return std::forward<F>(f)(std::get<T>(data_));
+  }
+
+  /// Adds an outermost context frame to the error, if any.
+  [[nodiscard]] Result<T> with_context(std::string frame) && {
+    if (ok()) return std::move(*this);
+    return std::get<Error>(std::move(data_)).with_context(std::move(frame));
+  }
 
  private:
   std::variant<T, Error> data_;
@@ -70,6 +174,8 @@ class [[nodiscard]] Result {
 template <>
 class [[nodiscard]] Result<void> {
  public:
+  using value_type = void;
+
   Result() = default;
   Result(Error error) : error_(std::move(error)), has_error_(true) {}  // NOLINT
 
@@ -79,6 +185,22 @@ class [[nodiscard]] Result<void> {
   [[nodiscard]] const Error& error() const& {
     ZS_EXPECTS(!ok());
     return error_;
+  }
+  [[nodiscard]] Error&& error() && {
+    ZS_EXPECTS(!ok());
+    return std::move(error_);
+  }
+
+  /// Monadic chain for void results: `f` takes no arguments.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> std::invoke_result_t<F> {
+    if (!ok()) return error_;
+    return std::forward<F>(f)();
+  }
+
+  [[nodiscard]] Result<void> with_context(std::string frame) && {
+    if (ok()) return {};
+    return std::move(error_).with_context(std::move(frame));
   }
 
  private:

@@ -1,0 +1,43 @@
+#include "flow/cache.hpp"
+
+#include <utility>
+
+namespace zolcsim::flow {
+
+Result<std::shared_ptr<const CompiledUnit>> CompileCache::get_or_compile(
+    const CompileSpec& spec) {
+  const std::string key = spec.key();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = units_.find(key); it != units_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  // Compiling under the lock serializes compiles, but a compile is cheap
+  // next to the simulations that consume it, and this guarantees the
+  // exactly-once property the miss counter advertises.
+  auto compiled = CompiledUnit::compile(spec);
+  if (!compiled.ok()) return std::move(compiled).error();
+  ++stats_.misses;
+  auto unit =
+      std::make_shared<const CompiledUnit>(std::move(compiled).value());
+  units_.emplace(key, unit);
+  return unit;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CompileCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return units_.size();
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  units_.clear();
+  stats_ = {};
+}
+
+}  // namespace zolcsim::flow

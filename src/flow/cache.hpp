@@ -1,0 +1,46 @@
+// CompileCache: keyed, thread-safe sharing of CompiledUnits.
+//
+// The sweep engine's grid repeats each (kernel, machine, geometry, env)
+// point once per pipeline configuration; the cache collapses those to one
+// compile each. Compilation happens under the lock, so a unit is compiled
+// exactly once no matter how many workers race for it -- the miss counter
+// is therefore also the number of compiles performed, which SweepReport
+// exposes (and tests assert).
+#ifndef ZOLCSIM_FLOW_CACHE_HPP
+#define ZOLCSIM_FLOW_CACHE_HPP
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "flow/compiled_unit.hpp"
+
+namespace zolcsim::flow {
+
+class CompileCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;  ///< == number of compiles performed
+  };
+
+  /// Returns the unit for `spec`, compiling it on first use. A failed
+  /// compile is not cached (every caller for that spec gets the error).
+  [[nodiscard]] Result<std::shared_ptr<const CompiledUnit>> get_or_compile(
+      const CompileSpec& spec);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledUnit>> units_;
+  Stats stats_;
+};
+
+}  // namespace zolcsim::flow
+
+#endif  // ZOLCSIM_FLOW_CACHE_HPP

@@ -1,0 +1,91 @@
+#include "flow/compiled_unit.hpp"
+
+#include <utility>
+
+#include "common/strings.hpp"
+#include "isa/disasm.hpp"
+
+namespace zolcsim::flow {
+
+std::string unit_label(std::string_view kernel,
+                       codegen::MachineKind machine) {
+  return std::string(kernel) + " (" +
+         std::string(codegen::machine_name(machine)) + ")";
+}
+
+std::string CompileSpec::key() const {
+  // Every field that can change the compile output participates; the env's
+  // memory map and sizing feed the KIR builder and data layout.
+  std::string k = kernel;
+  k += '|';
+  k += codegen::machine_name(machine);
+  k += '|';
+  k += geometry.label();
+  k += '|';
+  k += hex32(env.code_base);
+  k += ',';
+  k += hex32(env.in_base);
+  k += ',';
+  k += hex32(env.in2_base);
+  k += ',';
+  k += hex32(env.out_base);
+  k += ',';
+  k += hex32(env.aux_base);
+  k += ',';
+  k += std::to_string(env.scale);
+  k += ',';
+  k += hex32(env.seed);
+  return k;
+}
+
+Result<CompiledUnit> CompiledUnit::compile(const CompileSpec& spec) {
+  const kernels::Kernel* kernel = kernels::find_kernel(spec.kernel);
+  if (kernel == nullptr) {
+    return Error{ErrorCode::kUnknownKernel,
+                 "unknown kernel '" + spec.kernel + "'"};
+  }
+  return compile(*kernel, spec);
+}
+
+Result<CompiledUnit> CompiledUnit::compile(const kernels::Kernel& kernel,
+                                           const CompileSpec& spec) {
+  const auto frame = [&] { return unit_label(kernel.name(), spec.machine); };
+  if (!spec.geometry.valid()) {
+    return Error{ErrorCode::kBadConfig,
+                 "invalid ZOLC geometry " + spec.geometry.label()}
+        .with_context(frame());
+  }
+
+  auto lowered = codegen::lower(kernel.build(spec.env), spec.machine,
+                                spec.env.code_base, spec.geometry);
+  if (!lowered.ok()) {
+    return std::move(lowered).error().with_context(frame() + ": lowering");
+  }
+  codegen::Program program = std::move(lowered).value();
+
+  // Post-link analysis metadata rides with the unit: which counted loops a
+  // binary-level scan would still recover from the lowered code.
+  cfg::ScanReport scan = cfg::scan_for_micro_loops(
+      program.code, program.base,
+      cfg::ScanOptions::for_geometry(spec.geometry));
+
+  CompileSpec stored = spec;
+  stored.kernel = std::string(kernel.name());
+  return CompiledUnit(kernel, std::move(stored), std::move(program),
+                      std::move(scan));
+}
+
+std::string CompiledUnit::disassembly() const {
+  std::string out;
+  std::uint32_t pc = program_.base;
+  for (const isa::Instruction& instr : program_.code) {
+    out += hex32(pc);
+    out += "  ";
+    out += isa::disassemble(instr, pc);
+    out += '\n';
+    pc += 4;
+  }
+  return out;
+}
+
+}  // namespace zolcsim::flow

@@ -1,0 +1,107 @@
+// CompiledUnit: the compile-time artifact of the staged toolchain.
+//
+// The evaluation flow of the paper is inherently staged -- lower a kernel
+// for a machine/geometry, install the ZOLC tables, then run and measure.
+// CompiledUnit captures everything the compile stage produces for one
+// (kernel, machine, geometry, env) point:
+//
+//   KIR build -> lower() -> Program -> predecoded CodeImage -> zolcscan
+//
+// and is immutable thereafter, so sweeps (and any other caller) can run the
+// same unit against many pipeline configurations without paying the
+// lowering/assembly/predecode cost again. See flow/run.hpp for the runtime
+// stage and flow/cache.hpp for keyed sharing across sweep cells.
+#ifndef ZOLCSIM_FLOW_COMPILED_UNIT_HPP
+#define ZOLCSIM_FLOW_COMPILED_UNIT_HPP
+
+#include <string>
+
+#include "cfg/zolcscan.hpp"
+#include "codegen/lower.hpp"
+#include "codegen/program.hpp"
+#include "common/result.hpp"
+#include "isa/code_image.hpp"
+#include "kernels/kernels.hpp"
+#include "zolc/config.hpp"
+
+namespace zolcsim::flow {
+
+/// The "kernel (machine)" label every flow stage uses as its error context
+/// frame (DESIGN.md sec. 5 documents the format as part of the contract).
+[[nodiscard]] std::string unit_label(std::string_view kernel,
+                                     codegen::MachineKind machine);
+
+/// Everything that identifies one compile: the full cache key of a unit.
+struct CompileSpec {
+  std::string kernel;  ///< registry name (see kernels::find_kernel)
+  codegen::MachineKind machine = codegen::MachineKind::kXrDefault;
+  zolc::ZolcGeometry geometry;  ///< paper prototype by default
+  kernels::KernelEnv env;
+
+  /// Stable string key over every field (used by CompileCache).
+  [[nodiscard]] std::string key() const;
+};
+
+/// The immutable compile-stage artifact. Construct via compile(); every
+/// accessor is const and the underlying Program never changes, so the
+/// predecoded image() stays valid for the unit's whole lifetime (including
+/// after moves -- vector storage is stable under move).
+class CompiledUnit {
+ public:
+  /// Compiles `spec.kernel` (looked up in the registries) for
+  /// `spec.machine`/`spec.geometry`. Errors: kUnknownKernel, kBadConfig
+  /// (invalid geometry), kInvalidKernel, kCapacity -- each carrying a
+  /// "kernel (machine)" context frame.
+  [[nodiscard]] static Result<CompiledUnit> compile(const CompileSpec& spec);
+
+  /// Same, for a caller-owned kernel (must outlive the unit). Used by tests
+  /// and tools that build ad-hoc kernels outside the registries.
+  [[nodiscard]] static Result<CompiledUnit> compile(
+      const kernels::Kernel& kernel, const CompileSpec& spec);
+
+  [[nodiscard]] const kernels::Kernel& kernel() const noexcept {
+    return *kernel_;
+  }
+  [[nodiscard]] const CompileSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] codegen::MachineKind machine() const noexcept {
+    return spec_.machine;
+  }
+  [[nodiscard]] const zolc::ZolcGeometry& geometry() const noexcept {
+    return spec_.geometry;
+  }
+  [[nodiscard]] const kernels::KernelEnv& env() const noexcept {
+    return spec_.env;
+  }
+
+  [[nodiscard]] const codegen::Program& program() const noexcept {
+    return program_;
+  }
+  /// Predecoded instruction image (the fetch fast path). Non-owning view
+  /// into this unit; valid while the unit is alive.
+  [[nodiscard]] isa::CodeImage image() const noexcept {
+    return program_.image();
+  }
+  /// Post-link loop-acceleration metadata: the zolcscan analysis of the
+  /// lowered code (candidate counted loops + rejection reasons).
+  [[nodiscard]] const cfg::ScanReport& scan() const noexcept { return scan_; }
+
+  /// Full disassembly listing of the lowered program (one line per word).
+  [[nodiscard]] std::string disassembly() const;
+
+ private:
+  CompiledUnit(const kernels::Kernel& kernel, CompileSpec spec,
+               codegen::Program program, cfg::ScanReport scan)
+      : kernel_(&kernel),
+        spec_(std::move(spec)),
+        program_(std::move(program)),
+        scan_(std::move(scan)) {}
+
+  const kernels::Kernel* kernel_;  ///< non-owning; registry or caller-owned
+  CompileSpec spec_;
+  codegen::Program program_;
+  cfg::ScanReport scan_;
+};
+
+}  // namespace zolcsim::flow
+
+#endif  // ZOLCSIM_FLOW_COMPILED_UNIT_HPP

@@ -1,0 +1,58 @@
+#include "flow/run.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "zolc/controller.hpp"
+
+namespace zolcsim::flow {
+
+Result<harness::ExperimentResult> run(const CompiledUnit& unit,
+                                      const RunPlan& plan) {
+  Workload workload = Workload::prepare(unit);
+  return run(unit, workload, plan);
+}
+
+Result<harness::ExperimentResult> run(const CompiledUnit& unit,
+                                      Workload& workload,
+                                      const RunPlan& plan) {
+  const codegen::Program& program = unit.program();
+
+  std::unique_ptr<zolc::ZolcController> controller;
+  if (const auto variant = codegen::machine_zolc_variant(unit.machine())) {
+    controller =
+        std::make_unique<zolc::ZolcController>(*variant, unit.geometry());
+  }
+
+  cpu::Pipeline pipe(workload.memory(), plan.config);
+  pipe.set_accelerator(controller.get());
+  if (plan.predecode) pipe.set_code_image(unit.image());
+  pipe.set_pc(program.base);
+  try {
+    pipe.run(plan.max_cycles);
+  } catch (const cpu::SimError& e) {
+    return Error{ErrorCode::kSimulation, e.what()}.with_context(
+        unit_label(unit.kernel().name(), unit.machine()) +
+        ": simulation failed");
+  }
+
+  if (auto verified = workload.verify(); !verified.ok()) {
+    return std::move(verified).error();
+  }
+
+  harness::ExperimentResult result;
+  result.kernel = std::string(unit.kernel().name());
+  result.machine = unit.machine();
+  result.geometry = unit.geometry();
+  result.stats = pipe.stats();
+  if (controller) result.zolc_stats = controller->zolc_stats();
+  result.init_instructions = program.init_instructions;
+  result.hw_loops = program.hw_loop_count;
+  result.sw_loops = program.sw_loop_count;
+  result.code_words = program.size_words();
+  result.notes = program.notes;
+  return result;
+}
+
+}  // namespace zolcsim::flow

@@ -1,0 +1,39 @@
+// The runtime stage: executes a CompiledUnit on the cycle-accurate pipeline
+// under a RunPlan and returns the harness's ExperimentResult. run() is the
+// cheap, repeatable half of the staged toolchain -- one CompiledUnit can be
+// run under any number of pipeline configurations without recompiling.
+#ifndef ZOLCSIM_FLOW_RUN_HPP
+#define ZOLCSIM_FLOW_RUN_HPP
+
+#include <cstdint>
+
+#include "cpu/pipeline.hpp"
+#include "flow/compiled_unit.hpp"
+#include "flow/workload.hpp"
+#include "harness/experiment.hpp"
+
+namespace zolcsim::flow {
+
+/// Runtime-stage parameters: everything that varies per run of the same
+/// compiled unit.
+struct RunPlan {
+  cpu::PipelineConfig config;
+  std::uint64_t max_cycles = 200'000'000;
+  bool predecode = true;  ///< use the unit's predecoded instruction image
+};
+
+/// Runs `unit` on a fresh Workload. Failure modes: kSimulation (trap or
+/// cycle budget) and kVerifyMismatch (outputs differ from the golden
+/// reference; always a bug, never a reportable data point).
+[[nodiscard]] Result<harness::ExperimentResult> run(const CompiledUnit& unit,
+                                                    const RunPlan& plan = {});
+
+/// Same, against a caller-prepared Workload (consumed: the run mutates its
+/// memory, and verify() is called on it afterwards).
+[[nodiscard]] Result<harness::ExperimentResult> run(const CompiledUnit& unit,
+                                                    Workload& workload,
+                                                    const RunPlan& plan = {});
+
+}  // namespace zolcsim::flow
+
+#endif  // ZOLCSIM_FLOW_RUN_HPP

@@ -1,0 +1,23 @@
+#include "flow/workload.hpp"
+
+namespace zolcsim::flow {
+
+Workload Workload::prepare(const CompiledUnit& unit) {
+  Workload workload(unit.kernel(), unit.spec());
+  unit.program().load_into(workload.memory_);
+  unit.kernel().setup(unit.env(), workload.memory_);
+  return workload;
+}
+
+Result<void> Workload::verify() const {
+  auto checked = kernel_->verify(spec_->env, memory_);
+  if (checked.ok()) return checked;
+  Error error = std::move(checked).error();
+  if (error.code == ErrorCode::kUnknown) {
+    error.code = ErrorCode::kVerifyMismatch;
+  }
+  return std::move(error).with_context(
+      unit_label(kernel_->name(), spec_->machine) + ": verification");
+}
+
+}  // namespace zolcsim::flow

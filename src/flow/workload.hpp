@@ -1,0 +1,42 @@
+// Workload: the runtime-stage memory image for one CompiledUnit.
+//
+// prepare() loads the program image and the kernel's deterministic input
+// data into a fresh simulator memory; verify() closes the loop by checking
+// the outputs against the kernel's golden C++ reference. A Workload is
+// cheap relative to a compile and is consumed by one run (the run mutates
+// its memory), so callers that sweep a unit across pipeline configs prepare
+// one Workload per run while sharing the CompiledUnit.
+#ifndef ZOLCSIM_FLOW_WORKLOAD_HPP
+#define ZOLCSIM_FLOW_WORKLOAD_HPP
+
+#include "common/result.hpp"
+#include "flow/compiled_unit.hpp"
+#include "mem/memory.hpp"
+
+namespace zolcsim::flow {
+
+class Workload {
+ public:
+  /// Builds the initial memory image: program words at env.code_base plus
+  /// the kernel's input/constant tables (Kernel::setup).
+  [[nodiscard]] static Workload prepare(const CompiledUnit& unit);
+
+  [[nodiscard]] mem::Memory& memory() noexcept { return memory_; }
+  [[nodiscard]] const mem::Memory& memory() const noexcept { return memory_; }
+
+  /// Golden-reference output check (Kernel::verify). Fails with
+  /// ErrorCode::kVerifyMismatch and a "kernel (machine)" context frame.
+  [[nodiscard]] Result<void> verify() const;
+
+ private:
+  Workload(const kernels::Kernel& kernel, const CompileSpec& spec)
+      : kernel_(&kernel), spec_(&spec) {}
+
+  const kernels::Kernel* kernel_;  ///< non-owning (unit outlives workload)
+  const CompileSpec* spec_;        ///< non-owning view of the unit's spec
+  mem::Memory memory_;
+};
+
+}  // namespace zolcsim::flow
+
+#endif  // ZOLCSIM_FLOW_WORKLOAD_HPP

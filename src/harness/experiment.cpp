@@ -1,6 +1,9 @@
 #include "harness/experiment.hpp"
 
-#include <memory>
+#include <string>
+
+#include "flow/cache.hpp"
+#include "flow/run.hpp"
 
 namespace zolcsim::harness {
 
@@ -11,58 +14,15 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
                                         std::uint64_t max_cycles,
                                         bool predecode,
                                         const zolc::ZolcGeometry& geometry) {
-  if (!geometry.valid()) {
-    return Error{std::string(kernel.name()) + ": invalid ZOLC geometry " +
-                 geometry.label()};
-  }
-  auto lowered =
-      codegen::lower(kernel.build(env), machine, env.code_base, geometry);
-  if (!lowered.ok()) {
-    return Error{std::string(kernel.name()) + " (" +
-                 std::string(codegen::machine_name(machine)) +
-                 "): lowering failed: " + lowered.error().message};
-  }
-  const codegen::Program& program = lowered.value();
-
-  mem::Memory memory;
-  program.load_into(memory);
-  kernel.setup(env, memory);
-
-  std::unique_ptr<zolc::ZolcController> controller;
-  if (const auto variant = codegen::machine_zolc_variant(machine)) {
-    controller = std::make_unique<zolc::ZolcController>(*variant, geometry);
-  }
-
-  cpu::Pipeline pipe(memory, config);
-  pipe.set_accelerator(controller.get());
-  if (predecode) pipe.set_code_image(program.image());
-  pipe.set_pc(program.base);
-  try {
-    pipe.run(max_cycles);
-  } catch (const cpu::SimError& e) {
-    return Error{std::string(kernel.name()) + " (" +
-                 std::string(codegen::machine_name(machine)) +
-                 "): simulation failed: " + e.what()};
-  }
-
-  if (auto verified = kernel.verify(env, memory); !verified.ok()) {
-    return Error{std::string(kernel.name()) + " (" +
-                 std::string(codegen::machine_name(machine)) +
-                 "): verification failed: " + verified.error().message};
-  }
-
-  ExperimentResult result;
-  result.kernel = std::string(kernel.name());
-  result.machine = machine;
-  result.geometry = geometry;
-  result.stats = pipe.stats();
-  if (controller) result.zolc_stats = controller->zolc_stats();
-  result.init_instructions = program.init_instructions;
-  result.hw_loops = program.hw_loop_count;
-  result.sw_loops = program.sw_loop_count;
-  result.code_words = program.size_words();
-  result.notes = program.notes;
-  return result;
+  flow::CompileSpec spec;
+  spec.kernel = std::string(kernel.name());
+  spec.machine = machine;
+  spec.geometry = geometry;
+  spec.env = env;
+  auto unit = flow::CompiledUnit::compile(kernel, spec);
+  if (!unit.ok()) return std::move(unit).error();
+  return flow::run(unit.value(),
+                   flow::RunPlan{config, max_cycles, predecode});
 }
 
 double percent_reduction(std::uint64_t baseline, std::uint64_t cycles) {

@@ -35,6 +35,11 @@ struct ExperimentResult {
 /// off is kept for throughput comparisons). `geometry` sizes the ZOLC
 /// controller and drives the lowering's capacity decisions (ignored for
 /// non-ZOLC machines; the default is the paper prototype).
+///
+/// Compatibility wrapper: compiles and runs in one shot, discarding the
+/// compile-stage artifact. Callers that run the same compile under several
+/// pipeline configurations should use flow::CompiledUnit + flow::run()
+/// (or the sweep engine, which caches units) to pay the compile once.
 [[nodiscard]] Result<ExperimentResult> run_experiment(
     const kernels::Kernel& kernel, codegen::MachineKind machine,
     const kernels::KernelEnv& env = {}, cpu::PipelineConfig config = {},

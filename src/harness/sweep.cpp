@@ -5,6 +5,8 @@
 
 #include "common/csv.hpp"
 #include "common/strings.hpp"
+#include "flow/cache.hpp"
+#include "flow/run.hpp"
 
 namespace zolcsim::harness {
 
@@ -246,7 +248,8 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
   }
   for (const std::string& name : report.kernels) {
     if (kernels::find_kernel(name) == nullptr) {
-      return Error{"sweep: unknown kernel '" + name + "'"};
+      return Error{ErrorCode::kUnknownKernel,
+                   "sweep: unknown kernel '" + name + "'"};
     }
   }
 
@@ -265,7 +268,8 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
           : spec.geometries;
   for (const zolc::ZolcGeometry& geometry : report.geometries) {
     if (!geometry.valid()) {
-      return Error{"sweep: invalid ZOLC geometry " + geometry.label()};
+      return Error{ErrorCode::kBadConfig,
+                   "sweep: invalid ZOLC geometry " + geometry.label()};
     }
   }
 
@@ -280,6 +284,12 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
   // its own slot; cell order (and thus the report) is thread-count
   // independent. Any failure stops further claims -- the sweep is already
   // lost, so remaining cells (up to max_cycles each) are not worth running.
+  //
+  // The pipeline-config axis repeats the same (kernel, machine, geometry)
+  // compile, so all workers draw units from one CompileCache: each unit is
+  // compiled exactly once per sweep and every further cell is a cache hit
+  // (counters surface in the report).
+  flow::CompileCache cache;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   const auto worker = [&] {
@@ -302,10 +312,18 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
         continue;
       }
       try {
-        auto result = run_experiment(*kernels::find_kernel(report.kernels[k]),
-                                     report.machines[m], spec.env,
-                                     report.configs[c], spec.max_cycles,
-                                     spec.predecode, report.geometries[g]);
+        flow::CompileSpec unit_spec;
+        unit_spec.kernel = report.kernels[k];
+        unit_spec.machine = report.machines[m];
+        unit_spec.geometry = report.geometries[g];
+        unit_spec.env = spec.env;
+        auto unit = cache.get_or_compile(unit_spec);
+        auto result =
+            unit.ok()
+                ? flow::run(*unit.value(),
+                            flow::RunPlan{report.configs[c], spec.max_cycles,
+                                          spec.predecode})
+                : Result<ExperimentResult>(std::move(unit).error());
         if (result.ok()) {
           out.state = CellOutcome::State::kOk;
           out.result = std::move(result).value();
@@ -316,10 +334,11 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
         }
       } catch (const std::exception& e) {
         out.state = CellOutcome::State::kError;
-        out.error = Error{"sweep cell " + report.kernels[k] + "/" +
-                          std::string(codegen::machine_name(
-                              report.machines[m])) +
-                          ": " + e.what()};
+        out.error =
+            Error{ErrorCode::kSimulation,
+                  "sweep cell " + report.kernels[k] + "/" +
+                      std::string(codegen::machine_name(report.machines[m])) +
+                      ": " + e.what()};
         failed.store(true, std::memory_order_relaxed);
       }
     }
@@ -345,6 +364,9 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
       if (out.state == CellOutcome::State::kError) return out.error;
     }
   }
+  const flow::CompileCache::Stats cache_stats = cache.stats();
+  report.compile_cache_hits = cache_stats.hits;
+  report.compile_cache_misses = cache_stats.misses;
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {

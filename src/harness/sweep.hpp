@@ -73,6 +73,13 @@ struct SweepReport {
   codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
   std::vector<SweepCell> cells;
 
+  /// Compile-cache counters for the sweep: `compile_cache_misses` is the
+  /// number of units actually compiled (exactly one per distinct
+  /// (kernel, machine, geometry) point that ran), `compile_cache_hits` the
+  /// number of cells that reused one. Not part of the CSV/JSON emitters.
+  std::size_t compile_cache_hits = 0;
+  std::size_t compile_cache_misses = 0;
+
   [[nodiscard]] const ExperimentResult& at(std::size_t kernel,
                                            std::size_t machine,
                                            std::size_t config = 0,

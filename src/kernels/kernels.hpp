@@ -68,10 +68,14 @@ class Lcg {
     return state_;
   }
 
-  /// Uniform-ish value in [lo, hi].
+  /// Uniform-ish value in [lo, hi]. All arithmetic is done in uint32 so a
+  /// span covering the full int32 domain (where `hi - lo + 1` wraps to 0)
+  /// and large `lo + offset` sums stay well-defined.
   std::int32_t range(std::int32_t lo, std::int32_t hi) {
-    const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
-    return lo + static_cast<std::int32_t>(next() % span);
+    const std::uint32_t span = static_cast<std::uint32_t>(hi) -
+                               static_cast<std::uint32_t>(lo) + 1u;
+    const std::uint32_t offset = span == 0 ? next() : next() % span;
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(lo) + offset);
   }
 
  private:

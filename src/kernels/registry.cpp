@@ -60,7 +60,7 @@ Result<void> check_words(const mem::Memory& memory, std::uint32_t addr,
       std::ostringstream os;
       os << what << "[" << i << "]: expected " << expected[i] << ", got "
          << got << " at " << hex32(addr + static_cast<std::uint32_t>(i) * 4);
-      return Error{os.str()};
+      return Error{ErrorCode::kVerifyMismatch, os.str()};
     }
   }
   return {};

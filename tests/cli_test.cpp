@@ -1,0 +1,99 @@
+// zolcsim CLI argument parsing: the string forms of the machine / geometry /
+// pipeline-config axes must round-trip with the names the sweep emitters
+// print, and bad input must fail with kBadConfig (never crash).
+#include <gtest/gtest.h>
+
+#include "cli.hpp"
+#include "harness/sweep.hpp"
+
+namespace zolcsim::cli {
+namespace {
+
+using codegen::MachineKind;
+
+TEST(CliParse, MachineNamesRoundTrip) {
+  for (const MachineKind machine : codegen::kAllMachines) {
+    const auto parsed =
+        parse_machine(std::string(codegen::machine_name(machine)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), machine);
+  }
+  EXPECT_TRUE(parse_machine("zolcfull").ok());  // case-insensitive
+  const auto bad = parse_machine("Pentium");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kBadConfig);
+}
+
+TEST(CliParse, GeometryLabelsRoundTrip) {
+  for (const zolc::ZolcGeometry geometry :
+       {zolc::ZolcGeometry{}, zolc::ZolcGeometry{32, 12, 0, 0},
+        zolc::ZolcGeometry{64, 16, 4, 4, 14}}) {
+    const auto parsed = parse_geometry(geometry.label());
+    ASSERT_TRUE(parsed.ok()) << geometry.label();
+    EXPECT_EQ(parsed.value(), geometry);
+  }
+  for (const char* bad : {"", "32t", "32t-8l-4x-4e-q14", "at-8l-4x-4e",
+                          "32t-64l-4x-4e" /* invalid geometry */}) {
+    const auto parsed = parse_geometry(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.error().code, ErrorCode::kBadConfig);
+  }
+}
+
+TEST(CliParse, ConfigNamesRoundTrip) {
+  for (const cpu::PipelineConfig config :
+       {cpu::PipelineConfig{cpu::BranchResolveStage::kExecute,
+                            cpu::SpeculationPolicy::kRollback, true},
+        cpu::PipelineConfig{cpu::BranchResolveStage::kDecode,
+                            cpu::SpeculationPolicy::kGate, true},
+        cpu::PipelineConfig{cpu::BranchResolveStage::kExecute,
+                            cpu::SpeculationPolicy::kRollback, false}}) {
+    const auto parsed = parse_config(harness::config_name(config));
+    ASSERT_TRUE(parsed.ok()) << harness::config_name(config);
+    EXPECT_EQ(parsed.value().branch_resolve, config.branch_resolve);
+    EXPECT_EQ(parsed.value().speculation, config.speculation);
+    EXPECT_EQ(parsed.value().forwarding, config.forwarding);
+  }
+  EXPECT_FALSE(parse_config("EX-resolve").ok());  // missing policy
+  EXPECT_FALSE(parse_config("warp-speed/rollback").ok());
+  EXPECT_EQ(parse_config("").error().code, ErrorCode::kBadConfig);
+  // Contradictory tokens are rejected, not silently last-wins.
+  EXPECT_FALSE(parse_config("ID-resolve/EX-resolve/gate").ok());
+  EXPECT_FALSE(parse_config("EX-resolve/rollback/gate").ok());
+}
+
+TEST(CliParse, ArgsSplitFlagsAndPositionals) {
+  const char* argv[] = {"zolcsim", "run",          "fir",
+                        "--machine=ZOLClite",      "--no-predecode",
+                        "--max-cycles=1000",       "--kernels="};
+  const Args args = Args::parse(7, const_cast<char**>(argv), 2);
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional.front(), "fir");
+  EXPECT_EQ(args.value_of("machine"), "ZOLClite");
+  EXPECT_EQ(args.value_of("max-cycles"), "1000");
+  // Absent flag vs explicitly empty value are distinguishable, so the
+  // driver can reject "--kernels=" instead of sweeping the full suite.
+  EXPECT_FALSE(args.value_of("absent").has_value());
+  ASSERT_TRUE(args.value_of("kernels").has_value());
+  EXPECT_TRUE(args.value_of("kernels")->empty());
+  EXPECT_TRUE(args.has("no-predecode"));
+  EXPECT_FALSE(args.has("machine"));  // value flag, not a switch
+  EXPECT_TRUE(args.unknown({"machine", "max-cycles", "kernels"},
+                           {"no-predecode"})
+                  .empty());
+  EXPECT_EQ(args.unknown({"machine", "kernels"}, {"no-predecode"}).size(),
+            1u);
+}
+
+TEST(CliParse, SplitListAndErrorRendering) {
+  EXPECT_TRUE(split_list("").empty());
+  const auto items = split_list("a,b,c");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[2], "c");
+  const Error error =
+      Error{ErrorCode::kCapacity, "exit records"}.with_context("me_tss");
+  EXPECT_EQ(render_error(error), "error[capacity]: me_tss: exit records");
+}
+
+}  // namespace
+}  // namespace zolcsim::cli

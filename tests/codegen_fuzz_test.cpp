@@ -127,7 +127,7 @@ MachineOutcome run_machine(const std::vector<KNode>& kernel,
   MachineOutcome out;
   auto prog = lower(kernel, machine, 0x1000);
   if (!prog.ok()) {
-    out.error = prog.error().message;
+    out.error = prog.error().to_string();
     return out;
   }
   mem::Memory memory;

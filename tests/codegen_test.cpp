@@ -94,6 +94,7 @@ TEST(LowerValidate, RejectsReservedRegisters) {
   kernel.push_back(KOp{b::addi(24, 0, 1)});
   const auto r = lower(kernel, MachineKind::kXrDefault);
   ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidKernel);
   EXPECT_NE(r.error().message.find("reserved"), std::string::npos);
 }
 
@@ -335,7 +336,7 @@ void expect_machines_agree(const std::vector<KNode>& kernel,
         MachineKind::kZolcFull}) {
     const auto prog = lower(kernel, machine);
     ASSERT_TRUE(prog.ok()) << machine_name(machine) << ": "
-                           << prog.error().message;
+                           << prog.error().to_string();
     const RunOutcome got = run_program(prog.value());
     for (const std::uint8_t reg : result_regs) {
       EXPECT_EQ(got.regs.read(reg), expected.regs.read(reg))

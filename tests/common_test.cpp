@@ -173,8 +173,9 @@ TEST(Result, HoldsValue) {
 }
 
 TEST(Result, HoldsError) {
-  Result<int> r = Error{"bad", 3};
+  Result<int> r = Error{ErrorCode::kParse, "bad", 3};
   ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kParse);
   EXPECT_EQ(r.error().message, "bad");
   EXPECT_EQ(r.error().to_string(), "line 3: bad");
 }
@@ -182,16 +183,71 @@ TEST(Result, HoldsError) {
 TEST(Result, WrongAccessViolatesContract) {
   Result<int> ok = 1;
   EXPECT_THROW((void)ok.error(), ContractViolation);
-  Result<int> err = Error{"x"};
+  Result<int> err = Error{ErrorCode::kUnknown, "x"};
   EXPECT_THROW((void)err.value(), ContractViolation);
 }
 
 TEST(Result, VoidSpecialization) {
   Result<void> ok;
   EXPECT_TRUE(ok.ok());
-  Result<void> err = Error{"nope"};
+  Result<void> err = Error{ErrorCode::kSimulation, "nope"};
   ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, ErrorCode::kSimulation);
   EXPECT_EQ(err.error().message, "nope");
+}
+
+TEST(Result, ErrorContextChainRendersOutermostFirst) {
+  const Error inner{ErrorCode::kCapacity, "exit record capacity"};
+  const Error wrapped =
+      inner.with_context("lowering").with_context("me_tss (ZOLCfull)");
+  EXPECT_EQ(wrapped.code, ErrorCode::kCapacity);
+  EXPECT_EQ(wrapped.to_string(),
+            "me_tss (ZOLCfull): lowering: exit record capacity");
+  EXPECT_EQ(error_code_name(wrapped.code), "capacity");
+}
+
+TEST(Result, MapTransformsValueAndPassesErrorThrough) {
+  Result<int> r = 21;
+  const Result<int> doubled = std::move(r).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+
+  Result<int> bad = Error{ErrorCode::kParse, "nope"};
+  const Result<std::string> still_bad =
+      std::move(bad).map([](int) { return std::string("unreached"); });
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.error().code, ErrorCode::kParse);
+}
+
+TEST(Result, AndThenChainsAndShortCircuits) {
+  const auto parse_even = [](int v) -> Result<int> {
+    if (v % 2 != 0) return Error{ErrorCode::kBadConfig, "odd"};
+    return v / 2;
+  };
+  Result<int> r = 8;
+  const Result<int> half = std::move(r).and_then(parse_even);
+  ASSERT_TRUE(half.ok());
+  EXPECT_EQ(half.value(), 4);
+
+  Result<int> odd = 7;
+  const Result<int> failed = std::move(odd).and_then(parse_even);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ErrorCode::kBadConfig);
+
+  Result<int> already_bad = Error{ErrorCode::kParse, "early"};
+  const Result<int> propagated = std::move(already_bad).and_then(parse_even);
+  ASSERT_FALSE(propagated.ok());
+  EXPECT_EQ(propagated.error().code, ErrorCode::kParse);
+  EXPECT_EQ(propagated.error().message, "early");
+}
+
+TEST(Result, WithContextOnResultTagsOnlyErrors) {
+  Result<int> good = 1;
+  EXPECT_TRUE(std::move(good).with_context("stage").ok());
+  Result<int> bad = Error{ErrorCode::kIo, "disk"};
+  const Result<int> tagged = std::move(bad).with_context("writer");
+  ASSERT_FALSE(tagged.ok());
+  EXPECT_EQ(tagged.error().to_string(), "writer: disk");
 }
 
 // ---------------- TextTable / CSV ----------------

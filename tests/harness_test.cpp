@@ -78,7 +78,8 @@ TEST(Harness, CycleLimitSurfacesAsError) {
   const auto result =
       run_experiment(*kernel, MachineKind::kXrDefault, {}, {}, 100);
   ASSERT_FALSE(result.ok());
-  EXPECT_NE(result.error().message.find("simulation failed"),
+  EXPECT_EQ(result.error().code, ErrorCode::kSimulation);
+  EXPECT_NE(result.error().to_string().find("simulation failed"),
             std::string::npos);
 }
 

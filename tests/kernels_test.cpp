@@ -4,6 +4,8 @@
 // reports and size scaling.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "harness/experiment.hpp"
 
 namespace zolcsim::kernels {
@@ -11,6 +13,32 @@ namespace {
 
 using codegen::MachineKind;
 using harness::run_experiment;
+
+TEST(Lcg, RangeStaysInBoundsAndSurvivesFullDomainSpans) {
+  Lcg lcg(0xC0FFEE01);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int32_t v = lcg.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Regression: a span covering the whole int32 domain used to compute
+  // `hi - lo + 1 == 0` and take `next() % 0`. Any value is in range; the
+  // call just must be well-defined and deterministic.
+  Lcg a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    const std::int32_t full = a.range(std::numeric_limits<std::int32_t>::min(),
+                                      std::numeric_limits<std::int32_t>::max());
+    EXPECT_EQ(full, b.range(std::numeric_limits<std::int32_t>::min(),
+                            std::numeric_limits<std::int32_t>::max()));
+  }
+  // Large-but-not-full spans whose width exceeds INT32_MAX.
+  Lcg c(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int32_t v = c.range(std::numeric_limits<std::int32_t>::min() + 1,
+                                   std::numeric_limits<std::int32_t>::max());
+    EXPECT_GE(v, std::numeric_limits<std::int32_t>::min() + 1);
+  }
+}
 
 TEST(KernelRegistry, HasTwelveDistinctKernels) {
   const auto& reg = kernel_registry();
@@ -32,7 +60,7 @@ class KernelMatrix : public ::testing::TestWithParam<MatrixCase> {};
 TEST_P(KernelMatrix, LowersRunsAndVerifies) {
   const auto& [kernel, machine] = GetParam();
   const auto result = run_experiment(*kernel, machine);
-  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   EXPECT_GT(result.value().stats.cycles, 0u);
   EXPECT_GT(result.value().stats.instructions, 0u);
   if (machine == MachineKind::kZolcLite || machine == MachineKind::kZolcFull ||
@@ -65,7 +93,7 @@ class KernelOrdering : public ::testing::TestWithParam<const Kernel*> {};
 TEST_P(KernelOrdering, MachinesOrderAsThePaperReports) {
   const Kernel& kernel = *GetParam();
   const auto base = run_experiment(kernel, MachineKind::kXrDefault);
-  ASSERT_TRUE(base.ok()) << base.error().message;
+  ASSERT_TRUE(base.ok()) << base.error().to_string();
   const std::uint64_t baseline = base.value().stats.cycles;
 
   // XRhrdwil never loses (it gains only where an index is a pure counter,
@@ -120,7 +148,7 @@ TEST(KernelScaling, LargerProblemsStillVerify) {
     for (const MachineKind machine :
          {MachineKind::kXrDefault, MachineKind::kZolcLite}) {
       const auto run = run_experiment(*kernel, machine, env);
-      ASSERT_TRUE(run.ok()) << name << ": " << run.error().message;
+      ASSERT_TRUE(run.ok()) << name << ": " << run.error().to_string();
     }
   }
 }
@@ -134,7 +162,7 @@ TEST(KernelSeeds, DifferentSeedsStillVerify) {
       ASSERT_NE(kernel, nullptr);
       const auto run = run_experiment(*kernel, MachineKind::kZolcFull, env);
       ASSERT_TRUE(run.ok()) << name << " seed=" << seed << ": "
-                            << run.error().message;
+                            << run.error().to_string();
     }
   }
 }
@@ -143,12 +171,12 @@ TEST(KernelZolc, MeTssExercisesExitRecordsOnFull) {
   const Kernel* kernel = find_kernel("me_tss");
   ASSERT_NE(kernel, nullptr);
   const auto full = run_experiment(*kernel, MachineKind::kZolcFull);
-  ASSERT_TRUE(full.ok()) << full.error().message;
+  ASSERT_TRUE(full.ok()) << full.error().to_string();
   EXPECT_GT(full.value().zolc_stats.exit_matches, 0u)
       << "the planted perfect match should take the candidate-loop exit";
 
   const auto lite = run_experiment(*kernel, MachineKind::kZolcLite);
-  ASSERT_TRUE(lite.ok()) << lite.error().message;
+  ASSERT_TRUE(lite.ok()) << lite.error().to_string();
   EXPECT_EQ(lite.value().zolc_stats.exit_matches, 0u);
   // Lite demotes the multi-exit candidate loop, so full is at least as fast.
   EXPECT_LE(full.value().stats.cycles, lite.value().stats.cycles);
@@ -158,7 +186,7 @@ TEST(KernelZolc, PerfectNestsCascade) {
   for (const char* name : {"matmul", "conv2d", "me_fsbm"}) {
     const Kernel* kernel = find_kernel(name);
     const auto run = run_experiment(*kernel, MachineKind::kZolcLite);
-    ASSERT_TRUE(run.ok()) << run.error().message;
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
     EXPECT_GT(run.value().zolc_stats.cascade_chains, 0u) << name;
   }
 }
@@ -166,7 +194,7 @@ TEST(KernelZolc, PerfectNestsCascade) {
 TEST(KernelZolc, InitOverheadIsSmallFractionOfCycles) {
   for (const auto& kernel : kernel_registry()) {
     const auto run = run_experiment(*kernel, MachineKind::kZolcLite);
-    ASSERT_TRUE(run.ok()) << run.error().message;
+    ASSERT_TRUE(run.ok()) << run.error().to_string();
     const double frac = static_cast<double>(run.value().init_instructions) /
                         static_cast<double>(run.value().stats.cycles);
     EXPECT_LT(frac, 0.10) << kernel->name()

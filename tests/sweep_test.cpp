@@ -25,12 +25,12 @@ TEST(Sweep, ReportIsIdenticalAcrossThreadCounts) {
   SweepSpec spec = small_spec();
   spec.threads = 1;
   const auto serial = run_sweep(spec);
-  ASSERT_TRUE(serial.ok()) << serial.error().message;
+  ASSERT_TRUE(serial.ok()) << serial.error().to_string();
 
   for (const unsigned threads : {2u, 4u, 8u}) {
     spec.threads = threads;
     const auto parallel = run_sweep(spec);
-    ASSERT_TRUE(parallel.ok()) << parallel.error().message;
+    ASSERT_TRUE(parallel.ok()) << parallel.error().to_string();
     ASSERT_EQ(serial.value().cells.size(), parallel.value().cells.size());
     for (std::size_t i = 0; i < serial.value().cells.size(); ++i) {
       const auto& a = serial.value().cells[i].result;
@@ -52,7 +52,7 @@ TEST(Sweep, EngineMatchesSerialRunExperiment) {
   SweepSpec spec = small_spec();
   spec.threads = 4;
   const auto report = run_sweep(spec);
-  ASSERT_TRUE(report.ok()) << report.error().message;
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
 
   for (std::size_t k = 0; k < report.value().kernels.size(); ++k) {
     const kernels::Kernel* kernel =
@@ -61,7 +61,7 @@ TEST(Sweep, EngineMatchesSerialRunExperiment) {
     for (std::size_t m = 0; m < report.value().machines.size(); ++m) {
       const auto direct =
           run_experiment(*kernel, report.value().machines[m]);
-      ASSERT_TRUE(direct.ok()) << direct.error().message;
+      ASSERT_TRUE(direct.ok()) << direct.error().to_string();
       const ExperimentResult& cell = report.value().at(k, m);
       EXPECT_EQ(direct.value().stats.cycles, cell.stats.cycles);
       EXPECT_EQ(direct.value().stats.instructions, cell.stats.instructions);
@@ -75,7 +75,7 @@ TEST(Sweep, EmptyDimensionsResolveToDefaults) {
   SweepSpec spec;
   spec.kernels = {"dotprod"};  // keep runtime small; machines/configs default
   const auto report = run_sweep(spec);
-  ASSERT_TRUE(report.ok()) << report.error().message;
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
   EXPECT_EQ(report.value().machines.size(), std::size(codegen::kAllMachines));
   EXPECT_EQ(report.value().configs.size(), 1u);
   EXPECT_EQ(report.value().cells.size(), std::size(codegen::kAllMachines));
@@ -86,13 +86,38 @@ TEST(Sweep, UnknownKernelFailsTheSweep) {
   spec.kernels = {"no_such_kernel"};
   const auto report = run_sweep(spec);
   ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, ErrorCode::kUnknownKernel);
   EXPECT_NE(report.error().message.find("no_such_kernel"), std::string::npos);
+}
+
+TEST(Sweep, CompilesEachUnitExactlyOnceAcrossTheConfigAxis) {
+  // The tentpole guarantee: the pipeline-config axis reuses compiled units.
+  // 2 kernels x 2 machines x 3 configs = 12 cells but only 4 distinct
+  // (kernel, machine, geometry) units; the other 8 cells must be cache hits.
+  SweepSpec spec;
+  spec.kernels = {"dotprod", "fir"};
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
+  spec.configs = {
+      PipelineConfig{BranchResolveStage::kExecute,
+                     SpeculationPolicy::kRollback, true},
+      PipelineConfig{BranchResolveStage::kDecode, SpeculationPolicy::kGate,
+                     true},
+      PipelineConfig{BranchResolveStage::kExecute,
+                     SpeculationPolicy::kRollback, false}};
+  for (const unsigned threads : {1u, 4u}) {
+    spec.threads = threads;
+    const auto report = run_sweep(spec);
+    ASSERT_TRUE(report.ok()) << report.error().to_string();
+    EXPECT_EQ(report.value().cells.size(), 12u);
+    EXPECT_EQ(report.value().compile_cache_misses, 4u);
+    EXPECT_EQ(report.value().compile_cache_hits, 8u);
+  }
 }
 
 TEST(Sweep, ReductionAndAggregateAreConsistent) {
   SweepSpec spec = small_spec();
   const auto report = run_sweep(spec);
-  ASSERT_TRUE(report.ok()) << report.error().message;
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
   const SweepReport& r = report.value();
 
   // Baseline machine reduces 0% against itself.
@@ -118,7 +143,7 @@ TEST(Sweep, ConfigGridIsSwept) {
       PipelineConfig{BranchResolveStage::kDecode, SpeculationPolicy::kGate,
                      true}};
   const auto report = run_sweep(spec);
-  ASSERT_TRUE(report.ok()) << report.error().message;
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
   EXPECT_EQ(report.value().cells.size(), 4u);
   // Early branch resolution squashes strictly fewer wrong-path slots than
   // EX resolution on the software-loop baseline (1 vs 2 per taken branch).

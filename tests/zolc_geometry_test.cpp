@@ -142,14 +142,14 @@ TEST(GeometryLowering, DeepNestFullyHardwareManagedUnderExtendedGeometry) {
   const auto result =
       run_experiment(*kernel, MachineKind::kZolcLite, {}, {}, 200'000'000,
                      true, ZolcGeometry{32, 12, 0, 0});
-  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   EXPECT_EQ(result.value().hw_loops, 10u);
   EXPECT_EQ(result.value().sw_loops, 0u);
   EXPECT_GT(result.value().zolc_stats.continue_events, 0u);
 
   // At the paper geometry the same kernel still runs, demoting two levels.
   const auto paper = run_experiment(*kernel, MachineKind::kZolcLite);
-  ASSERT_TRUE(paper.ok()) << paper.error().message;
+  ASSERT_TRUE(paper.ok()) << paper.error().to_string();
   EXPECT_EQ(paper.value().hw_loops, 8u);
   EXPECT_EQ(paper.value().sw_loops, 2u);
   EXPECT_GT(paper.value().stats.cycles, result.value().stats.cycles);
@@ -161,7 +161,7 @@ TEST(GeometryLowering, TinyGeometryDemotesGracefully) {
   const auto result = run_experiment(*kernel, MachineKind::kZolcLite, {}, {},
                                      200'000'000, true,
                                      ZolcGeometry{8, 2, 0, 0});
-  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   EXPECT_EQ(result.value().hw_loops, 2u);
   EXPECT_EQ(result.value().sw_loops, 4u);
 }
@@ -170,7 +170,7 @@ TEST(GeometryLowering, ExtendedKernelsVerifyOnEveryMachine) {
   for (const auto& kernel : kernels::extended_kernel_registry()) {
     for (const MachineKind machine : codegen::kAllMachines) {
       const auto result = run_experiment(*kernel, machine);
-      ASSERT_TRUE(result.ok()) << result.error().message;
+      ASSERT_TRUE(result.ok()) << result.error().to_string();
       EXPECT_GT(result.value().stats.cycles, 0u);
     }
   }
@@ -186,9 +186,9 @@ TEST(GeometryLowering, WideRecordGeometryRunsZolcFullEndToEnd) {
   ASSERT_EQ(wide.record_words(), 2u);
   const auto result = run_experiment(*kernel, MachineKind::kZolcFull, {}, {},
                                      200'000'000, true, wide);
-  ASSERT_TRUE(result.ok()) << result.error().message;
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
   const auto paper = run_experiment(*kernel, MachineKind::kZolcFull);
-  ASSERT_TRUE(paper.ok()) << paper.error().message;
+  ASSERT_TRUE(paper.ok()) << paper.error().to_string();
   // Identical loop structure, but each exit record costs one extra init
   // write (the hi word).
   EXPECT_EQ(result.value().hw_loops, paper.value().hw_loops);
@@ -209,6 +209,7 @@ TEST(GeometryLowering, ProgramBeyondThePcWindowIsRejected) {
   const auto lowered =
       codegen::lower(kernel, MachineKind::kZolcLite, 0x1000, narrow);
   ASSERT_FALSE(lowered.ok());
+  EXPECT_EQ(lowered.error().code, ErrorCode::kCapacity);
   EXPECT_NE(lowered.error().message.find("PC-offset window"),
             std::string::npos);
 }
@@ -236,7 +237,7 @@ TEST(GeometrySweep, AxisProducesPerGeometryCells) {
   spec.geometries = {ZolcGeometry{}, ZolcGeometry{32, 12, 0, 0}};
   spec.threads = 2;
   const auto swept = harness::run_sweep(spec);
-  ASSERT_TRUE(swept.ok()) << swept.error().message;
+  ASSERT_TRUE(swept.ok()) << swept.error().to_string();
   const harness::SweepReport& report = swept.value();
   ASSERT_EQ(report.cells.size(), 4u);
   EXPECT_TRUE(report.has_geometry_axis());
@@ -258,7 +259,7 @@ TEST(GeometrySweep, DefaultSweepKeepsTheHistoricalSchema) {
   spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
   spec.threads = 1;
   const auto swept = harness::run_sweep(spec);
-  ASSERT_TRUE(swept.ok()) << swept.error().message;
+  ASSERT_TRUE(swept.ok()) << swept.error().to_string();
   EXPECT_FALSE(swept.value().has_geometry_axis());
   EXPECT_EQ(swept.value().to_csv().find("geometry"), std::string::npos);
   EXPECT_EQ(swept.value().to_json().find("geometry"), std::string::npos);

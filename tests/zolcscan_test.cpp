@@ -205,7 +205,7 @@ TEST(ZolcScan, DeepNestBinaryIsScannable) {
   const kernels::KernelEnv env;
   auto prog = codegen::lower(kernel->build(env),
                              codegen::MachineKind::kXrDefault, kBase);
-  ASSERT_TRUE(prog.ok()) << prog.error().message;
+  ASSERT_TRUE(prog.ok()) << prog.error().to_string();
 
   const auto options =
       ScanOptions::for_geometry(zolc::ZolcGeometry{32, 16, 4, 4});

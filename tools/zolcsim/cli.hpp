@@ -1,0 +1,60 @@
+// Argument parsing for the zolcsim CLI driver: string forms of the
+// machine / geometry / pipeline-config axes, matching the names the sweep
+// emitters print (machine_name, ZolcGeometry::label, config_name), so CSV
+// output and CLI input round-trip.
+#ifndef ZOLCSIM_TOOLS_ZOLCSIM_CLI_HPP
+#define ZOLCSIM_TOOLS_ZOLCSIM_CLI_HPP
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/program.hpp"
+#include "common/result.hpp"
+#include "cpu/pipeline.hpp"
+#include "zolc/config.hpp"
+
+namespace zolcsim::cli {
+
+/// "XRdefault" | "XRhrdwil" | "uZOLC" | "ZOLClite" | "ZOLCfull"
+/// (case-insensitive). Error: kBadConfig.
+[[nodiscard]] Result<codegen::MachineKind> parse_machine(std::string_view s);
+
+/// "Nt-Nl-Nx-Ne[-pB]" -- the ZolcGeometry::label() form, e.g. "32t-8l-4x-4e"
+/// or "64t-12l-4x-4e-p14". Error: kBadConfig.
+[[nodiscard]] Result<zolc::ZolcGeometry> parse_geometry(std::string_view s);
+
+/// "EX-resolve|ID-resolve" "/rollback|/gate" ["/nofwd"] -- the
+/// harness::config_name() form. Error: kBadConfig.
+[[nodiscard]] Result<cpu::PipelineConfig> parse_config(std::string_view s);
+
+/// Flag helpers over argv (skipping argv[0] and the subcommand).
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::string> flags;  ///< "--..." tokens, in order
+
+  [[nodiscard]] static Args parse(int argc, char** argv, int skip);
+
+  /// Value of "--name=value"; nullopt when the flag is absent. An explicit
+  /// empty value ("--name=") returns an empty string so callers can reject
+  /// it instead of silently falling back to a default.
+  [[nodiscard]] std::optional<std::string> value_of(
+      std::string_view name) const;
+  [[nodiscard]] bool has(std::string_view name) const;
+  /// Flags that are neither in `known_values` (as --k=v) nor in
+  /// `known_switches` (as bare --k); non-empty means a usage error.
+  [[nodiscard]] std::vector<std::string> unknown(
+      const std::vector<std::string_view>& known_values,
+      const std::vector<std::string_view>& known_switches) const;
+};
+
+/// Splits "a,b,c" (empty input -> empty vector).
+[[nodiscard]] std::vector<std::string> split_list(std::string_view s);
+
+/// Renders an Error for the terminal: "error[code]: trail".
+[[nodiscard]] std::string render_error(const Error& error);
+
+}  // namespace zolcsim::cli
+
+#endif  // ZOLCSIM_TOOLS_ZOLCSIM_CLI_HPP

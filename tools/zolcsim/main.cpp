@@ -1,0 +1,364 @@
+// zolcsim -- CLI driver over the staged toolchain (src/flow).
+//
+//   zolcsim list                       catalog kernels / machines / defaults
+//   zolcsim compile <kernel> [...]     compile stage: unit summary, disasm,
+//                                      zolcscan report
+//   zolcsim run <kernel> [...]         compile + run one experiment
+//   zolcsim sweep [...]                grid sweep, CSV/JSON to stdout/file
+//
+// Run `zolcsim help` (or any subcommand with bad flags) for the full flag
+// list. Exit codes: 0 success, 1 toolchain error, 2 usage error.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "flow/compiled_unit.hpp"
+#include "flow/run.hpp"
+#include "harness/sweep.hpp"
+#include "kernels/kernels.hpp"
+
+namespace {
+
+using namespace zolcsim;
+
+constexpr const char* kUsage = R"(zolcsim -- staged ZOLC toolchain driver
+
+usage: zolcsim <command> [flags]
+
+commands:
+  list                      kernels (paper + extended), machines, defaults
+  compile <kernel>          compile stage only; prints the unit summary
+      --machine=NAME        machine configuration   (default ZOLCfull)
+      --geometry=LABEL      ZOLC geometry, e.g. 32t-8l-4x-4e[-p14]
+      --disasm              print the lowered program disassembly
+      --scan                print the zolcscan post-link analysis
+  run <kernel>              compile + execute + verify one experiment
+      --machine=NAME --geometry=LABEL
+      --config=NAME         pipeline config, e.g. EX-resolve/rollback[/nofwd]
+      --max-cycles=N        cycle budget          (default 200000000)
+      --no-predecode        fetch/decode from memory every cycle
+  sweep                     kernel x machine x config x geometry grid
+      --kernels=a,b,...     default: the 12-kernel paper suite
+      --machines=a,b,...    default: all five machines
+      --configs=a,b,...     default: EX-resolve/rollback
+      --geometries=a,b,...  default: the paper prototype geometry
+      --baseline=NAME       reduction baseline    (default XRdefault)
+      --max-cycles=N --threads=N
+      --format=csv|json     default csv
+      --out=FILE            default stdout
+exit codes: 0 ok, 1 toolchain error, 2 usage error
+)";
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "%s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+int toolchain_error(const Error& error) {
+  std::fprintf(stderr, "%s\n", cli::render_error(error).c_str());
+  return 1;
+}
+
+/// A malformed flag value is a usage error (exit 2), same class as an
+/// unknown flag -- toolchain_error (exit 1) is reserved for failures of the
+/// flow itself (compile / run / sweep / io).
+int bad_flag_value(const Error& error) {
+  std::fprintf(stderr, "%s\n", cli::render_error(error).c_str());
+  return 2;
+}
+
+/// Fetches "--name=value", rejecting an explicitly empty value. Returns
+/// nullopt when the flag is absent; sets `rc` non-zero on empty values.
+std::optional<std::string> nonempty_value(const cli::Args& args,
+                                          std::string_view name, int& rc) {
+  const auto value = args.value_of(name);
+  if (value && value->empty()) {
+    rc = usage_error("empty value for --" + std::string(name));
+    return std::nullopt;
+  }
+  return value;
+}
+
+/// Fetches "--name=N" as a strictly positive integer (no truncation:
+/// anything non-numeric, <= 0, or beyond `max` is a usage error). Returns
+/// nullopt when the flag is absent; sets `rc` non-zero on bad values.
+std::optional<std::uint64_t> positive_int_flag(
+    const cli::Args& args, std::string_view name, int& rc,
+    std::uint64_t max = std::numeric_limits<std::int64_t>::max()) {
+  const auto value = nonempty_value(args, name, rc);
+  if (!value) return std::nullopt;
+  const auto n = parse_int(*value);
+  if (!n || *n <= 0 || static_cast<std::uint64_t>(*n) > max) {
+    rc = usage_error("bad --" + std::string(name) + " value '" + *value +
+                     "'");
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(*n);
+}
+
+int reject_unknown_flags(const cli::Args& args,
+                         const std::vector<std::string_view>& values,
+                         const std::vector<std::string_view>& switches) {
+  const std::vector<std::string> unknown = args.unknown(values, switches);
+  if (unknown.empty()) return 0;
+  return usage_error("unknown flag '" + unknown.front() + "'");
+}
+
+// ---------------------------------------------------------------- list ----
+
+void list_registry(const char* title,
+                   const std::vector<std::unique_ptr<kernels::Kernel>>& reg) {
+  std::printf("%s:\n", title);
+  TextTable table({"kernel", "description"});
+  for (const auto& kernel : reg) {
+    table.add_row({std::string(kernel->name()),
+                   std::string(kernel->description())});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+int cmd_list() {
+  list_registry("paper suite", kernels::kernel_registry());
+  list_registry("extended (geometry exploration)",
+                kernels::extended_kernel_registry());
+  std::printf("machines:");
+  for (const codegen::MachineKind machine : codegen::kAllMachines) {
+    std::printf(" %s", std::string(codegen::machine_name(machine)).c_str());
+  }
+  std::printf("\ndefault geometry: %s\n",
+              zolc::ZolcGeometry{}.label().c_str());
+  return 0;
+}
+
+// ----------------------------------------------------- compile helpers ----
+
+struct UnitRequest {
+  flow::CompileSpec spec;
+};
+
+/// Shared flag handling for `compile` and `run`: kernel name + machine +
+/// geometry. Returns 0 and fills `out` on success, an exit code otherwise.
+int parse_unit_request(const cli::Args& args, UnitRequest& out) {
+  if (args.positional.size() != 1) {
+    return usage_error("expected exactly one kernel name");
+  }
+  out.spec.kernel = args.positional.front();
+  out.spec.machine = codegen::MachineKind::kZolcFull;
+  int rc = 0;
+  if (const auto machine = nonempty_value(args, "machine", rc)) {
+    auto parsed = cli::parse_machine(*machine);
+    if (!parsed.ok()) return bad_flag_value(parsed.error());
+    out.spec.machine = parsed.value();
+  }
+  if (rc != 0) return rc;
+  if (const auto geometry = nonempty_value(args, "geometry", rc)) {
+    auto parsed = cli::parse_geometry(*geometry);
+    if (!parsed.ok()) return bad_flag_value(parsed.error());
+    out.spec.geometry = parsed.value();
+  }
+  return rc;
+}
+
+void print_unit_summary(const flow::CompiledUnit& unit) {
+  const codegen::Program& program = unit.program();
+  std::printf("unit: %s (%s) geometry %s\n", unit.spec().kernel.c_str(),
+              std::string(codegen::machine_name(unit.machine())).c_str(),
+              unit.geometry().label().c_str());
+  std::printf(
+      "  code words        %zu\n  init instructions %u\n"
+      "  hw loops          %u\n  sw loops          %u\n",
+      program.size_words(), program.init_instructions, program.hw_loop_count,
+      program.sw_loop_count);
+  for (const std::string& note : program.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+}
+
+void print_scan_report(const flow::CompiledUnit& unit) {
+  const cfg::ScanReport& scan = unit.scan();
+  std::printf("zolcscan: %zu accelerable counted loop(s)\n",
+              scan.candidates.size());
+  for (const cfg::MicroPlan& plan : scan.candidates) {
+    std::printf("  depth %u: pc [%s, %s] index r%u, %d..%d step %d\n",
+                plan.depth, hex32(plan.start_pc).c_str(),
+                hex32(plan.end_pc).c_str(), plan.index_reg, plan.initial,
+                plan.final, plan.step);
+  }
+  for (const std::string& reason : scan.rejected) {
+    std::printf("  rejected: %s\n", reason.c_str());
+  }
+}
+
+int cmd_compile(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(args, {"machine", "geometry"},
+                                          {"disasm", "scan"})) {
+    return rc;
+  }
+  UnitRequest request;
+  if (const int rc = parse_unit_request(args, request)) return rc;
+  auto unit = flow::CompiledUnit::compile(request.spec);
+  if (!unit.ok()) return toolchain_error(unit.error());
+  print_unit_summary(unit.value());
+  if (args.has("disasm")) {
+    std::printf("\n%s", unit.value().disassembly().c_str());
+  }
+  if (args.has("scan")) {
+    std::printf("\n");
+    print_scan_report(unit.value());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- run ----
+
+int cmd_run(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(
+          args, {"machine", "geometry", "config", "max-cycles"},
+          {"no-predecode"})) {
+    return rc;
+  }
+  UnitRequest request;
+  if (const int rc = parse_unit_request(args, request)) return rc;
+
+  flow::RunPlan plan;
+  int rc = 0;
+  if (const auto config = nonempty_value(args, "config", rc)) {
+    auto parsed = cli::parse_config(*config);
+    if (!parsed.ok()) return bad_flag_value(parsed.error());
+    plan.config = parsed.value();
+  }
+  if (const auto cycles = positive_int_flag(args, "max-cycles", rc)) {
+    plan.max_cycles = *cycles;
+  }
+  if (rc != 0) return rc;
+  plan.predecode = !args.has("no-predecode");
+
+  auto unit = flow::CompiledUnit::compile(request.spec);
+  if (!unit.ok()) return toolchain_error(unit.error());
+  auto result = flow::run(unit.value(), plan);
+  if (!result.ok()) return toolchain_error(result.error());
+
+  const harness::ExperimentResult& r = result.value();
+  print_unit_summary(unit.value());
+  std::printf(
+      "run: config %s\n  cycles            %llu\n"
+      "  instructions      %llu\n  continue events   %llu\n"
+      "  done events       %llu\n  table writes      %llu\n"
+      "  verification      ok\n",
+      harness::config_name(plan.config).c_str(),
+      static_cast<unsigned long long>(r.stats.cycles),
+      static_cast<unsigned long long>(r.stats.instructions),
+      static_cast<unsigned long long>(r.zolc_stats.continue_events),
+      static_cast<unsigned long long>(r.zolc_stats.done_events),
+      static_cast<unsigned long long>(r.zolc_stats.table_writes));
+  return 0;
+}
+
+// --------------------------------------------------------------- sweep ----
+
+int cmd_sweep(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(
+          args,
+          {"kernels", "machines", "configs", "geometries", "baseline",
+           "max-cycles", "threads", "format", "out"},
+          {})) {
+    return rc;
+  }
+  if (!args.positional.empty()) {
+    return usage_error("sweep takes no positional arguments");
+  }
+  harness::SweepSpec spec;
+  int rc = 0;
+  if (const auto kernels = nonempty_value(args, "kernels", rc)) {
+    spec.kernels = cli::split_list(*kernels);
+  }
+  if (const auto machines = nonempty_value(args, "machines", rc)) {
+    for (const std::string& name : cli::split_list(*machines)) {
+      auto machine = cli::parse_machine(name);
+      if (!machine.ok()) return bad_flag_value(machine.error());
+      spec.machines.push_back(machine.value());
+    }
+  }
+  if (const auto configs = nonempty_value(args, "configs", rc)) {
+    for (const std::string& name : cli::split_list(*configs)) {
+      auto config = cli::parse_config(name);
+      if (!config.ok()) return bad_flag_value(config.error());
+      spec.configs.push_back(config.value());
+    }
+  }
+  if (const auto geometries = nonempty_value(args, "geometries", rc)) {
+    for (const std::string& name : cli::split_list(*geometries)) {
+      auto geometry = cli::parse_geometry(name);
+      if (!geometry.ok()) return bad_flag_value(geometry.error());
+      spec.geometries.push_back(geometry.value());
+    }
+  }
+  if (const auto baseline = nonempty_value(args, "baseline", rc)) {
+    auto machine = cli::parse_machine(*baseline);
+    if (!machine.ok()) return bad_flag_value(machine.error());
+    spec.baseline = machine.value();
+  }
+  if (const auto cycles = positive_int_flag(args, "max-cycles", rc)) {
+    spec.max_cycles = *cycles;
+  }
+  if (const auto threads = positive_int_flag(args, "threads", rc, 4096)) {
+    spec.threads = static_cast<unsigned>(*threads);
+  }
+  std::string format_name = "csv";
+  if (const auto format = nonempty_value(args, "format", rc)) {
+    if (*format != "csv" && *format != "json") {
+      return usage_error("bad --format value '" + *format +
+                         "' (csv or json)");
+    }
+    format_name = *format;
+  }
+  const auto out_path = nonempty_value(args, "out", rc);
+  if (rc != 0) return rc;
+
+  const auto swept = harness::run_sweep(spec);
+  if (!swept.ok()) return toolchain_error(swept.error());
+  const harness::SweepReport& report = swept.value();
+
+  const std::string rendered =
+      format_name == "json" ? report.to_json() : report.to_csv();
+  if (out_path) {
+    std::ofstream file(*out_path, std::ios::binary);
+    file << rendered;
+    file.flush();  // surface deferred write errors (e.g. disk full) here
+    if (!file.good()) {
+      return toolchain_error(
+          Error{ErrorCode::kIo, "cannot write '" + *out_path + "'"});
+    }
+    std::fprintf(stderr,
+                 "wrote %zu cells to %s (%zu compiles, %zu cache hits)\n",
+                 report.cells.size(), out_path->c_str(),
+                 report.compile_cache_misses, report.compile_cache_hits);
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage_error("missing command");
+  const std::string command = argv[1];
+  const cli::Args args = cli::Args::parse(argc, argv, 2);
+  if (command == "list") return cmd_list();
+  if (command == "compile") return cmd_compile(args);
+  if (command == "run") return cmd_run(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  return usage_error("unknown command '" + command + "'");
+}
