@@ -1,62 +1,8 @@
-// E4 -- variant ablation across the full machine set (extension of the
-// paper's Section 3 variant comparison): uZOLC vs ZOLClite vs ZOLCfull on
-// every benchmark, highlighting where each capability pays:
-//   * uZOLC: one hot innermost loop;
-//   * ZOLClite: whole nests, but multi-exit loops fall back to software;
-//   * ZOLCfull: multi-exit loops stay in hardware (candidate-exit records).
-// One SweepSpec whose variant axis is expressed via machines_for_variants.
-#include <cstdio>
-#include <fstream>
-#include <string>
-
-#include "common/strings.hpp"
-#include "common/table.hpp"
-#include "harness/sweep.hpp"
+// E4 -- ZOLC variant ablation: uZOLC vs ZOLClite vs ZOLCfull on every
+// benchmark. The grid and golden digest live in
+// scenarios/ablation_variants.json.
+#include "suite_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace zolcsim;
-  using codegen::MachineKind;
-
-  std::printf("E4: ZOLC variant ablation (cycle reduction vs XRdefault)\n\n");
-
-  harness::SweepSpec spec;
-  spec.machines = {MachineKind::kXrDefault};
-  for (const MachineKind machine : harness::machines_for_variants(
-           {zolc::ZolcVariant::kMicro, zolc::ZolcVariant::kLite,
-            zolc::ZolcVariant::kFull})) {
-    spec.machines.push_back(machine);
-  }
-  spec.threads = harness::threads_from_args(argc, argv);
-  const auto swept = harness::run_sweep(spec);
-  if (!swept.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", swept.error().to_string().c_str());
-    return 1;
-  }
-  const harness::SweepReport& report = swept.value();
-
-  TextTable table({"benchmark", "XRdefault", "uZOLC", "ZOLClite", "ZOLCfull",
-                   "uZOLC red.", "lite red.", "full red.", "hw loops u/l/f"});
-  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
-    table.add_row(
-        {report.kernels[k], std::to_string(report.cycles(k, 0)),
-         std::to_string(report.cycles(k, 1)),
-         std::to_string(report.cycles(k, 2)),
-         std::to_string(report.cycles(k, 3)),
-         format_fixed(report.reduction(k, 1), 1) + "%",
-         format_fixed(report.reduction(k, 2), 1) + "%",
-         format_fixed(report.reduction(k, 3), 1) + "%",
-         std::to_string(report.at(k, 1).hw_loops) + "/" +
-             std::to_string(report.at(k, 2).hw_loops) + "/" +
-             std::to_string(report.at(k, 3).hw_loops)});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf(
-      "expected shape: full >= lite >= micro on nests; on multi-exit kernels\n"
-      "(me_tss) lite degrades to near-baseline while full keeps the whole\n"
-      "structure in hardware -- the paper's motivation for multiple-exit\n"
-      "support.\n");
-  if (std::ofstream("ablation_variants.csv") << report.to_csv()) {
-    std::printf("(csv written to ablation_variants.csv)\n");
-  }
-  return 0;
+  return zolcsim::bench::suite_main("ablation_variants", argc, argv);
 }

@@ -1,76 +1,8 @@
-// E1 -- Figure 2 of the paper: relative cycle counts for the benchmark
-// suite on XRdefault (baseline 1.0), XRhrdwil (branch-decrement), and
-// XiRisc+ZOLClite, plus the in-text summary claims:
-//   "branch-decrement ... up to 27.5% and about 11.1% in average"
-//   "ZOLC ... up to 48.2% and about 26.2% in average"
-// Declarative SweepSpec over the batched engine; pass --threads=N to pick
-// the worker count (default: hardware concurrency).
-#include <cstdio>
-#include <fstream>
-#include <string>
-
-#include "common/strings.hpp"
-#include "common/table.hpp"
-#include "harness/sweep.hpp"
+// E1 -- Figure 2 of the paper: cycle performance of the benchmark suite on
+// XRdefault (baseline), XRhrdwil (dbne), and XiRisc+ZOLClite. The grid and
+// golden digest live in scenarios/fig2_cycles.json.
+#include "suite_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace zolcsim;
-  using codegen::MachineKind;
-
-  std::printf(
-      "E1 / Figure 2: cycle performance, 12 benchmarks\n"
-      "machines: XRdefault (baseline), XRhrdwil (dbne), XiRisc+ZOLClite\n\n");
-
-  harness::SweepSpec spec;
-  spec.machines = {MachineKind::kXrDefault, MachineKind::kXrHrdwil,
-                   MachineKind::kZolcLite};
-  spec.threads = harness::threads_from_args(argc, argv);
-  const auto swept = harness::run_sweep(spec);
-  if (!swept.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", swept.error().to_string().c_str());
-    return 1;
-  }
-  const harness::SweepReport& report = swept.value();
-
-  TextTable table({"benchmark", "XRdefault", "XRhrdwil", "ZOLClite",
-                   "hrdwil rel", "ZOLC rel", "ZOLC saving"});
-  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
-    const std::uint64_t base = report.cycles(k, 0);
-    const std::uint64_t hrdwil = report.cycles(k, 1);
-    const std::uint64_t zolc = report.cycles(k, 2);
-    const double rel_h = static_cast<double>(hrdwil) / static_cast<double>(base);
-    const double rel_z = static_cast<double>(zolc) / static_cast<double>(base);
-    table.add_row({report.kernels[k], std::to_string(base),
-                   std::to_string(hrdwil), std::to_string(zolc),
-                   format_fixed(rel_h, 3), format_fixed(rel_z, 3),
-                   format_fixed(report.reduction(k, 2), 1) + "%"});
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("relative cycles (XRdefault = 1.0):\n");
-  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
-    const double base = static_cast<double>(report.cycles(k, 0));
-    const double rel_h = static_cast<double>(report.cycles(k, 1)) / base;
-    const double rel_z = static_cast<double>(report.cycles(k, 2)) / base;
-    std::printf("  %-10s default |%s\n", report.kernels[k].c_str(),
-                ascii_bar(1.0, 1.0, 40).c_str());
-    std::printf("  %-10s hrdwil  |%s\n", "", ascii_bar(rel_h, 1.0, 40).c_str());
-    std::printf("  %-10s ZOLC    |%s\n", "", ascii_bar(rel_z, 1.0, 40).c_str());
-  }
-
-  const harness::SweepAggregate hrdwil = report.aggregate(1);
-  const harness::SweepAggregate zolc = report.aggregate(2);
-  std::printf("\nsummary (cycle reduction vs XRdefault):\n");
-  std::printf("  XRhrdwil : max %.1f%%  avg %.1f%%   (paper: up to 27.5%%, avg 11.1%%)\n",
-              hrdwil.max_reduction, hrdwil.avg_reduction);
-  std::printf("  ZOLClite : max %.1f%%  avg %.1f%%   (paper: up to 48.2%%, avg 26.2%%)\n",
-              zolc.max_reduction, zolc.avg_reduction);
-
-  if (std::ofstream("fig2_cycles.csv") << report.to_csv()) {
-    std::printf("\n(csv written to fig2_cycles.csv)\n");
-  }
-  if (std::ofstream("fig2_cycles.json") << report.to_json()) {
-    std::printf("(json written to fig2_cycles.json)\n");
-  }
-  return 0;
+  return zolcsim::bench::suite_main("fig2_cycles", argc, argv);
 }

@@ -1,90 +1,9 @@
-// E8 (extension) -- ZOLC geometry design-space exploration: run the deep
-// loop-structure kernels against controller geometries from 2 to 16 loops
-// and report cycles alongside the area model's storage/gate cost for each
-// point. The paper prototype (32 tasks / 8 loops) is one row; the sweep
-// shows what a deeper or shallower controller buys, turning the fixed
-// evaluation configuration into a tunable design axis.
-#include <cstdio>
-#include <fstream>
-#include <string>
-
-#include "common/csv.hpp"
-#include "common/strings.hpp"
-#include "common/table.hpp"
-#include "harness/sweep.hpp"
-#include "zolc/area_model.hpp"
+// E8 (extension) -- ZOLC geometry design-space exploration over the
+// deep-nest kernels. The geometry axis and golden digest live in
+// scenarios/geometry_sweep.json; see zolc/area_model.hpp for the
+// storage/gate cost of each geometry point.
+#include "suite_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace zolcsim;
-  using codegen::MachineKind;
-  using zolc::ZolcGeometry;
-
-  std::printf(
-      "E8: ZOLC geometry sweep (deep-nest kernels, ZOLClite vs XRdefault)\n"
-      "geometry points span 2..16 loop entries; the paper prototype is "
-      "32t-8l\n\n");
-
-  harness::SweepSpec spec;
-  spec.kernels = {"tiled_mm", "deepnest10", "wavelet4", "matmul", "conv2d"};
-  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
-  spec.geometries = {
-      ZolcGeometry{8, 2, 0, 0},   ZolcGeometry{16, 4, 0, 0},
-      ZolcGeometry{32, 8, 0, 0},  ZolcGeometry{32, 12, 0, 0},
-      ZolcGeometry{32, 16, 0, 0},
-  };
-  spec.threads = harness::threads_from_args(argc, argv);
-  const auto swept = harness::run_sweep(spec);
-  if (!swept.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", swept.error().to_string().c_str());
-    return 1;
-  }
-  const harness::SweepReport& report = swept.value();
-
-  CsvWriter csv({"kernel", "geometry", "tasks", "loops", "cycles_base",
-                 "cycles_zolc", "reduction_pct", "hw_loops", "sw_loops",
-                 "storage_bytes", "total_gates"});
-  for (std::size_t g = 0; g < report.geometries.size(); ++g) {
-    const ZolcGeometry& geom = report.geometries[g];
-    const auto area = zolc::area_model(zolc::ZolcVariant::kLite, geom);
-    std::printf("geometry %s  (storage %u B, %.0f gates)\n",
-                geom.label().c_str(), area.storage_bytes, area.total_gates);
-    TextTable table({"kernel", "XRdefault", "ZOLClite", "reduction",
-                     "hw loops", "sw loops"});
-    for (std::size_t k = 0; k < report.kernels.size(); ++k) {
-      const auto& base = report.at(k, 0, 0, g);
-      const auto& zolc_cell = report.at(k, 1, 0, g);
-      table.add_row({report.kernels[k],
-                     std::to_string(base.stats.cycles),
-                     std::to_string(zolc_cell.stats.cycles),
-                     format_fixed(report.reduction(k, 1, 0, g), 1) + "%",
-                     std::to_string(zolc_cell.hw_loops),
-                     std::to_string(zolc_cell.sw_loops)});
-      csv.add_row({report.kernels[k], geom.label(),
-                   std::to_string(geom.max_tasks),
-                   std::to_string(geom.max_loops),
-                   std::to_string(base.stats.cycles),
-                   std::to_string(zolc_cell.stats.cycles),
-                   format_fixed(report.reduction(k, 1, 0, g), 4),
-                   std::to_string(zolc_cell.hw_loops),
-                   std::to_string(zolc_cell.sw_loops),
-                   std::to_string(area.storage_bytes),
-                   format_fixed(area.total_gates, 0)});
-    }
-    std::printf("%s\n", table.render().c_str());
-  }
-
-  std::printf(
-      "reading: at 2 loops only innermost pairs stay in hardware; the paper\n"
-      "geometry (8) fully covers the classic kernels but demotes two levels\n"
-      "of deepnest10; from 12 loops up the 10-deep nest runs entirely\n"
-      "hardware-managed -- zero software loop overhead -- for ~12%% more\n"
-      "storage than the prototype (290 B vs 258 B).\n");
-
-  if (csv.write_file("geometry_sweep.csv")) {
-    std::printf("\n(csv written to geometry_sweep.csv)\n");
-  }
-  if (std::ofstream("geometry_sweep_grid.csv") << report.to_csv()) {
-    std::printf("(full grid csv written to geometry_sweep_grid.csv)\n");
-  }
-  return 0;
+  return zolcsim::bench::suite_main("geometry_sweep", argc, argv);
 }

@@ -1,56 +1,9 @@
-// E3 -- Section 2 claim: "The initialization of ZOLC presents only a very
-// small cycle overhead since it occurs outside of loop nests."
-// Reports, per benchmark, the init-sequence length, its share of total
-// cycles, and the cycles the loop hardware saves -- i.e. how quickly the
-// one-time investment amortizes. One two-machine SweepSpec.
-#include <cstdio>
-#include <string>
-
-#include "common/csv.hpp"
-#include "common/strings.hpp"
-#include "common/table.hpp"
-#include "harness/sweep.hpp"
+// E3 -- Section 2 claim: ZOLC initialization is a one-time cost outside the
+// loop nest. The grid and golden digest live in
+// scenarios/init_overhead.json; init_instructions and table_writes are
+// per-cell columns of the sweep CSV.
+#include "suite_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace zolcsim;
-  using codegen::MachineKind;
-
-  std::printf("E3: ZOLC initialization overhead (ZOLClite)\n\n");
-
-  harness::SweepSpec spec;
-  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
-  spec.threads = harness::threads_from_args(argc, argv);
-  const auto swept = harness::run_sweep(spec);
-  if (!swept.ok()) {
-    std::fprintf(stderr, "FAILED: %s\n", swept.error().to_string().c_str());
-    return 1;
-  }
-  const harness::SweepReport& report = swept.value();
-
-  TextTable table({"benchmark", "init instrs", "table writes", "total cycles",
-                   "init share", "cycles saved vs default"});
-  CsvWriter csv({"benchmark", "init_instructions", "table_writes",
-                 "total_cycles", "init_share_percent", "cycles_saved"});
-  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
-    const harness::ExperimentResult& z = report.at(k, 1);
-    const double share = 100.0 * static_cast<double>(z.init_instructions) /
-                         static_cast<double>(z.stats.cycles);
-    const auto saved = static_cast<std::int64_t>(report.cycles(k, 0)) -
-                       static_cast<std::int64_t>(z.stats.cycles);
-    table.add_row({report.kernels[k], std::to_string(z.init_instructions),
-                   std::to_string(z.zolc_stats.table_writes),
-                   std::to_string(z.stats.cycles),
-                   format_fixed(share, 2) + "%", std::to_string(saved)});
-    csv.add_row({report.kernels[k], std::to_string(z.init_instructions),
-                 std::to_string(z.zolc_stats.table_writes),
-                 std::to_string(z.stats.cycles), format_fixed(share, 3),
-                 std::to_string(saved)});
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("paper claim: init occurs once, outside the loop nest; the "
-              "share column should stay in the low single digits.\n");
-  if (csv.write_file("init_overhead.csv")) {
-    std::printf("(csv written to init_overhead.csv)\n");
-  }
-  return 0;
+  return zolcsim::bench::suite_main("init_overhead", argc, argv);
 }

@@ -1,0 +1,82 @@
+#include "suite_main.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/strings.hpp"
+#include "flow/cache.hpp"
+#include "harness/sweep.hpp"
+#include "scenario/runner.hpp"
+
+#ifndef ZOLCSIM_SCENARIO_DIR
+#define ZOLCSIM_SCENARIO_DIR "scenarios"
+#endif
+
+namespace zolcsim::bench {
+
+namespace {
+
+std::string suite_dir_from_args(int argc, char** argv) {
+  const std::string_view prefix = "--suite-dir=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (starts_with(arg, prefix) && arg.size() > prefix.size()) {
+      return std::string(arg.substr(prefix.size()));
+    }
+  }
+  return ZOLCSIM_SCENARIO_DIR;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  file << content;
+  file.flush();
+  return file.good();
+}
+
+}  // namespace
+
+int suite_main(const char* suite_name, int argc, char** argv) {
+  const std::string path =
+      suite_dir_from_args(argc, argv) + "/" + suite_name + ".json";
+  auto suite = scenario::load_suite_file(path);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", suite.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", suite.value().name.c_str(),
+              suite.value().description.c_str());
+
+  scenario::RunOptions options;
+  options.threads = harness::threads_from_args(argc, argv);
+  flow::CompileCache cache;
+  auto outcome = scenario::run_suite(suite.value(), cache, options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", outcome.error().to_string().c_str());
+    return 1;
+  }
+  const scenario::SuiteOutcome& done = outcome.value();
+
+  const std::string csv_path = std::string(suite_name) + ".csv";
+  if (!write_file(csv_path, done.csv)) {
+    std::fprintf(stderr, "FAILED: cannot write %s\n", csv_path.c_str());
+    return 1;
+  }
+  const std::string artifact = scenario::bench_artifact_name(done.suite);
+  if (!write_file(artifact, scenario::bench_artifact_json(done))) {
+    std::fprintf(stderr, "FAILED: cannot write %s\n", artifact.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "  %zu cells  golden %s  %.2fs  %.2f MIPS  (%zu compiles, %zu cache "
+      "hits)\n"
+      "  wrote %s and %s\n",
+      done.report.cells.size(), done.golden_checked ? "match" : "unchecked",
+      done.wall_seconds, done.mips, done.report.compile_cache_misses,
+      done.report.compile_cache_hits, csv_path.c_str(), artifact.c_str());
+  return 0;
+}
+
+}  // namespace zolcsim::bench

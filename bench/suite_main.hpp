@@ -1,0 +1,19 @@
+// Shared entry point for the scenario-backed benchmark binaries. Each of
+// the five paper benches is a two-line main over this: the grid, golden
+// digest, and thresholds live in scenarios/<suite>.json, and the binary is
+// kept only as a stable name for CI and local runs.
+#ifndef ZOLCSIM_BENCH_SUITE_MAIN_HPP
+#define ZOLCSIM_BENCH_SUITE_MAIN_HPP
+
+namespace zolcsim::bench {
+
+/// Loads scenarios/<suite_name>.json (directory overridable with
+/// --suite-dir=DIR; the compiled-in default points at the source tree),
+/// runs it, verifies the golden CSV digest, writes <suite_name>.csv and
+/// BENCH_<suite_name>.json to the working directory, and prints a summary.
+/// Honors --threads=N. Returns a process exit code.
+int suite_main(const char* suite_name, int argc, char** argv);
+
+}  // namespace zolcsim::bench
+
+#endif  // ZOLCSIM_BENCH_SUITE_MAIN_HPP

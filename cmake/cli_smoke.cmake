@@ -1,11 +1,13 @@
 # CLI smoke test: run `zolcsim sweep` on one kernel and validate the CSV
-# schema against the checked-in golden header. Invoked by CTest as
+# schema against the checked-in golden header, then run one checked-in
+# scenario suite through `sweep --from-file`. Invoked by CTest as
 #   cmake -DCLI=<zolcsim> -DGOLDEN=<sweep_header.csv> -DOUT=<scratch.csv>
-#        -P cli_smoke.cmake
+#        -DSUITE=<scenarios/fig2_cycles.json> -P cli_smoke.cmake
 # Guards the CLI wiring end-to-end (arg parsing -> sweep engine -> CSV
 # emitter) and pins the paper-default CSV schema.
-if(NOT CLI OR NOT GOLDEN OR NOT OUT)
-  message(FATAL_ERROR "cli_smoke.cmake needs -DCLI=, -DGOLDEN=, -DOUT=")
+if(NOT CLI OR NOT GOLDEN OR NOT OUT OR NOT SUITE)
+  message(FATAL_ERROR
+      "cli_smoke.cmake needs -DCLI=, -DGOLDEN=, -DOUT=, -DSUITE=")
 endif()
 
 execute_process(
@@ -31,4 +33,21 @@ file(STRINGS ${OUT} all_lines)
 list(LENGTH all_lines line_count)
 if(NOT line_count EQUAL 3)
   message(FATAL_ERROR "expected header + 2 cells, got ${line_count} lines")
+endif()
+
+# Suite mode: the checked-in fig2 scenario must run clean, which also
+# re-verifies its golden CSV digest (the runner fails on any mismatch).
+execute_process(
+  COMMAND ${CLI} sweep --from-file=${SUITE} --threads=1 --out=${OUT}.suite
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE stderr_text
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "zolcsim sweep --from-file failed (${rc}): ${stderr_text}")
+endif()
+file(STRINGS ${OUT}.suite suite_header LIMIT_COUNT 1)
+if(NOT suite_header STREQUAL expected)
+  message(FATAL_ERROR
+      "suite CSV header drifted from the golden schema\n"
+      "  produced: ${suite_header}\n  expected: ${expected}")
 endif()

@@ -67,10 +67,11 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
   const Cfg cfg(code, base);
   const LoopForest forest = find_loops(cfg);
 
-  const auto reject = [&report](unsigned header, const char* why) {
+  const auto reject = [&report](ErrorCode code, unsigned header,
+                                const char* why) {
     std::ostringstream os;
     os << "loop at B" << header << ": " << why;
-    report.rejected.push_back(os.str());
+    report.rejected.emplace_back(code, os.str());
   };
 
   for (const LoopInfo& loop : forest.loops) {
@@ -82,15 +83,17 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
                                other.blocks.begin(), other.blocks.end());
         });
     if (has_child) {
-      reject(loop.header, "not innermost");
+      reject(ErrorCode::kScanNotInnermost, loop.header, "not innermost");
       continue;
     }
     if (loop.multi_exit() || loop.multi_entry()) {
-      reject(loop.header, "multiple exits/entries need ZOLCfull");
+      reject(ErrorCode::kScanMultiExit, loop.header,
+             "multiple exits/entries need ZOLCfull");
       continue;
     }
     if (loop.back_edges.size() != 1) {
-      reject(loop.header, "multiple back edges");
+      reject(ErrorCode::kScanIrregularShape, loop.header,
+             "multiple back edges");
       continue;
     }
 
@@ -98,14 +101,15 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
     const BasicBlock& latch = cfg.blocks()[loop.back_edges.front()];
     const unsigned branch_idx = latch.last;
     if (branch_idx == 0) {
-      reject(loop.header, "degenerate latch");
+      reject(ErrorCode::kScanIrregularShape, loop.header, "degenerate latch");
       continue;
     }
     const Instruction& branch = code[branch_idx];
     const Instruction& update = code[branch_idx - 1];
     if (branch.op != Opcode::kBlt || update.op != Opcode::kAddi ||
         update.rs != update.rt) {
-      reject(loop.header, "back edge is not the addi/blt idiom");
+      reject(ErrorCode::kScanIrregularShape, loop.header,
+             "back edge is not the addi/blt idiom");
       continue;
     }
     const std::uint8_t idx_reg = update.rt;
@@ -119,17 +123,20 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
       bound_reg = branch.rs;  // blt bound, idx: continue while idx > bound
       cond = zolc::LoopCond::kGt;
     } else {
-      reject(loop.header, "branch does not test the updated index");
+      reject(ErrorCode::kScanIrregularShape, loop.header,
+             "branch does not test the updated index");
       continue;
     }
     if (step == 0 || (step > 0) != (cond == zolc::LoopCond::kLt)) {
-      reject(loop.header, "step direction disagrees with the bound test");
+      reject(ErrorCode::kScanIrregularShape, loop.header,
+             "step direction disagrees with the bound test");
       continue;
     }
 
     const unsigned header_first = cfg.blocks()[loop.header].first;
     if (header_first + 1 > branch_idx - 1) {
-      reject(loop.header, "no body instructions besides the overhead pair");
+      reject(ErrorCode::kScanIrregularShape, loop.header,
+             "no body instructions besides the overhead pair");
       continue;
     }
 
@@ -139,7 +146,8 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
     const auto bound = find_constant_init(code, header_first, bound_reg,
                                           options.init_window);
     if (!initial || !bound) {
-      reject(loop.header, "index/bound are not simple constants");
+      reject(ErrorCode::kScanNonConstantBound, loop.header,
+             "index/bound are not simple constants");
       continue;
     }
 
@@ -173,7 +181,8 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
       }
     }
     if (!safe) {
-      reject(loop.header, "loop body writes the index/bound or makes calls");
+      reject(ErrorCode::kScanUnsafeBody, loop.header,
+             "loop body writes the index/bound or makes calls");
       continue;
     }
     bool tail_targeted = false;
@@ -190,7 +199,8 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
       }
     }
     if (tail_targeted) {
-      reject(loop.header, "a branch targets the patched tail");
+      reject(ErrorCode::kScanTailTargeted, loop.header,
+             "a branch targets the patched tail");
       continue;
     }
 
@@ -199,7 +209,8 @@ ScanReport scan_for_micro_loops(std::span<const Instruction> code,
     // loop reads it before redefining it.
     if (read_before_write(code, branch_idx + 1,
                           static_cast<unsigned>(code.size()) - 1, idx_reg)) {
-      reject(loop.header, "index register is live after the loop");
+      reject(ErrorCode::kScanLiveIndex, loop.header,
+             "index register is live after the loop");
       continue;
     }
 

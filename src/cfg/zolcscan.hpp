@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cfg/cfg.hpp"
+#include "common/result.hpp"
 #include "zolc/controller.hpp"
 
 namespace zolcsim::cfg {
@@ -47,10 +48,18 @@ struct MicroPlan {
 
 struct ScanReport {
   std::vector<MicroPlan> candidates;  ///< all safely accelerable loops
-  std::vector<std::string> rejected;  ///< human-readable rejection reasons
+  /// Per-loop rejection verdicts: a typed kScan* ErrorCode (branch on the
+  /// code, never the text) plus a human-readable "loop at BN: why" message.
+  std::vector<Error> rejected;
 
   /// The deepest (hottest) candidate, or nullptr.
   [[nodiscard]] const MicroPlan* best() const;
+
+  /// True iff any rejection carries `code`.
+  [[nodiscard]] bool rejected_with(ErrorCode code) const {
+    return std::any_of(rejected.begin(), rejected.end(),
+                       [code](const Error& e) { return e.code == code; });
+  }
 };
 
 /// Tunable analysis limits. The defaults match the paper prototype; deriving

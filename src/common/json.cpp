@@ -1,0 +1,312 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace zolcsim::json {
+
+bool Value::as_bool() const {
+  ZS_EXPECTS(is_bool());
+  return bool_;
+}
+
+double Value::as_number() const {
+  ZS_EXPECTS(is_number());
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  ZS_EXPECTS(is_string());
+  return string_;
+}
+
+const std::vector<Value>& Value::items() const {
+  ZS_EXPECTS(is_array());
+  return items_;
+}
+
+const std::vector<Value::Member>& Value::members() const {
+  ZS_EXPECTS(is_object());
+  return members_;
+}
+
+std::optional<std::uint64_t> Value::as_uint() const {
+  if (!is_number() || number_ < 0) return std::nullopt;
+  constexpr double kExactMax = 9007199254740992.0;  // 2^53
+  if (number_ > kExactMax) return std::nullopt;
+  const auto n = static_cast<std::uint64_t>(number_);
+  if (static_cast<double>(n) != number_) return std::nullopt;  // fractional
+  return n;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+Value Value::make_object(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(std::string message) const {
+    return Error{ErrorCode::kParse, std::move(message), line_};
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Result<Value> parse_value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    auto value = parse_value_inner();
+    --depth_;
+    return value;
+  }
+
+  Result<Value> parse_value_inner() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return std::move(s).error();
+      return Value::make_string(std::move(s).value());
+    }
+    if (consume_word("true")) return Value::make_bool(true);
+    if (consume_word("false")) return Value::make_bool(false);
+    if (consume_word("null")) return Value::make_null();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("malformed number");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("malformed number: digit expected after '.'");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("malformed number: digit expected in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return Value::make_number(std::strtod(token.c_str(), nullptr));
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') return fail("unterminated string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {  // pass through as literal escape text; we never emit these
+            out += "\\u" + std::string(text_.substr(pos_ - 4, 4));
+          }
+          break;
+        }
+        default:
+          return fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<Value> parse_array() {
+    ZS_ASSERT(consume('['));
+    std::vector<Value> items;
+    skip_whitespace();
+    if (consume(']')) return Value::make_array(std::move(items));
+    while (true) {
+      auto item = parse_value();
+      if (!item.ok()) return item;
+      items.push_back(std::move(item).value());
+      skip_whitespace();
+      if (consume(']')) return Value::make_array(std::move(items));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_object() {
+    ZS_ASSERT(consume('{'));
+    std::vector<Value::Member> members;
+    skip_whitespace();
+    if (consume('}')) return Value::make_object(std::move(members));
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key.ok()) return std::move(key).error();
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      members.emplace_back(std::move(key).value(), std::move(value).value());
+      skip_whitespace();
+      if (consume('}')) return Value::make_object(std::move(members));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace zolcsim::json

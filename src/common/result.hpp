@@ -36,6 +36,19 @@ enum class ErrorCode : std::uint8_t {
   kSimulation,      ///< simulator trap or cycle-budget exhaustion
   kVerifyMismatch,  ///< output differs from the golden reference
   kIo,              ///< file read/write failure (CLI)
+  kThreshold,       ///< scenario perf threshold violated (cycles / MIPS)
+
+  // zolcscan rejection classes: why a counted loop was not accelerable.
+  // Rejections are ordinary analysis output (the scan itself still
+  // succeeds), but they share the Error shape so tests and tools branch on
+  // the code, never on message text.
+  kScanNotInnermost,     ///< loop contains a nested loop (uZOLC is 1-level)
+  kScanIrregularShape,   ///< back edge is not the addi/blt counted idiom
+  kScanMultiExit,        ///< multiple exits/entries need ZOLCfull
+  kScanNonConstantBound, ///< index/bound are not simple constants
+  kScanUnsafeBody,       ///< body writes index/bound or makes calls
+  kScanTailTargeted,     ///< a branch targets the patched tail
+  kScanLiveIndex,        ///< index register is live after the loop
 };
 
 [[nodiscard]] constexpr std::string_view error_code_name(
@@ -51,6 +64,14 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kSimulation:     return "simulation";
     case ErrorCode::kVerifyMismatch: return "verify-mismatch";
     case ErrorCode::kIo:             return "io";
+    case ErrorCode::kThreshold:      return "threshold";
+    case ErrorCode::kScanNotInnermost:     return "scan-not-innermost";
+    case ErrorCode::kScanIrregularShape:   return "scan-irregular-shape";
+    case ErrorCode::kScanMultiExit:        return "scan-multi-exit";
+    case ErrorCode::kScanNonConstantBound: return "scan-non-constant-bound";
+    case ErrorCode::kScanUnsafeBody:       return "scan-unsafe-body";
+    case ErrorCode::kScanTailTargeted:     return "scan-tail-targeted";
+    case ErrorCode::kScanLiveIndex:        return "scan-live-index";
   }
   return "?";
 }

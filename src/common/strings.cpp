@@ -101,6 +101,27 @@ std::string hex32(std::uint32_t value) {
   return buf;
 }
 
+std::string hex64(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view s) noexcept {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t acc = 0;
+  for (const char c : s) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    if (digit < 0) return std::nullopt;
+    acc = (acc << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return acc;
+}
+
 std::string format_fixed(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", digits, value);

@@ -32,6 +32,25 @@ namespace zolcsim {
 /// Formats `value` as 0xXXXXXXXX (8 hex digits).
 [[nodiscard]] std::string hex32(std::uint32_t value);
 
+/// Formats `value` as 16 lowercase hex digits (no 0x prefix).
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+/// Parses exactly 16 lowercase/uppercase hex digits (the hex64 form).
+[[nodiscard]] std::optional<std::uint64_t> parse_hex64(
+    std::string_view s) noexcept;
+
+/// FNV-1a 64-bit content hash: the scenario goldens' digest of a rendered
+/// CSV. Not cryptographic -- it pins deterministic simulator output, it does
+/// not defend against an adversary.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 /// Formats a double with `digits` digits after the decimal point.
 [[nodiscard]] std::string format_fixed(double value, int digits);
 

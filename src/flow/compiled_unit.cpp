@@ -1,9 +1,13 @@
 #include "flow/compiled_unit.hpp"
 
+#include <array>
+#include <optional>
 #include <utility>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "isa/disasm.hpp"
+#include "isa/encoding.hpp"
 
 namespace zolcsim::flow {
 
@@ -75,6 +79,45 @@ Result<CompiledUnit> CompiledUnit::compile(const kernels::Kernel& kernel,
                       std::move(scan));
 }
 
+namespace {
+
+/// One recovered ZOLC table write: which table, which slot, what payload.
+struct TableWrite {
+  std::string_view op;
+  std::uint8_t index = 0;
+  std::uint32_t payload = 0;
+};
+
+/// Recovers the table image from the init prologue without re-simulating:
+/// the lowering materializes every payload as a fixed lui/ori pair into the
+/// scratch register, so tracking just those two opcodes reconstructs the
+/// value each zolw.* writes.
+std::vector<TableWrite> collect_table_writes(const codegen::Program& program) {
+  std::vector<TableWrite> writes;
+  std::array<std::optional<std::uint32_t>, 32> known{};
+  for (const isa::Instruction& instr : program.code) {
+    const isa::OpcodeInfo& info = isa::opcode_info(instr.op);
+    if (instr.op == isa::Opcode::kLui) {
+      known[instr.rt] = static_cast<std::uint32_t>(instr.imm) << 16;
+    } else if (instr.op == isa::Opcode::kOri && instr.rs == instr.rt &&
+               known[instr.rs]) {
+      known[instr.rt] =
+          *known[instr.rs] | (static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+    } else if (info.format == isa::Format::kZolcWrite &&
+               starts_with(info.mnemonic, "zolw")) {
+      if (known[instr.rs]) {
+        writes.push_back(TableWrite{info.mnemonic, instr.zidx,
+                                    *known[instr.rs]});
+      }
+    } else if (const auto dest = isa::dest_reg(instr)) {
+      known[*dest] = std::nullopt;  // any other producer spoils the tracking
+    }
+  }
+  return writes;
+}
+
+}  // namespace
+
 std::string CompiledUnit::disassembly() const {
   std::string out;
   std::uint32_t pc = program_.base;
@@ -85,6 +128,76 @@ std::string CompiledUnit::disassembly() const {
     out += '\n';
     pc += 4;
   }
+  return out;
+}
+
+std::string CompiledUnit::to_json() const {
+  std::string out = "{\n";
+  out += "  \"kernel\": \"" + json::escape(spec_.kernel) + "\",\n";
+  out += "  \"machine\": \"";
+  out += codegen::machine_name(spec_.machine);
+  out += "\",\n";
+  out += "  \"geometry\": \"" + spec_.geometry.label() + "\",\n";
+  out += "  \"program\": {\n";
+  out += "    \"base\": \"" + hex32(program_.base) + "\",\n";
+  out += "    \"init_instructions\": " +
+         std::to_string(program_.init_instructions) + ",\n";
+  out += "    \"hw_loops\": " + std::to_string(program_.hw_loop_count) +
+         ",\n";
+  out += "    \"sw_loops\": " + std::to_string(program_.sw_loop_count) +
+         ",\n";
+  out += "    \"notes\": [";
+  for (std::size_t i = 0; i < program_.notes.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    out += json::escape(program_.notes[i]);
+    out += '"';
+  }
+  out += "],\n";
+  out += "    \"words\": [";
+  for (std::size_t i = 0; i < program_.code.size(); ++i) {
+    if (i != 0) out += ", ";
+    if (i % 8 == 0) out += "\n      ";
+    out += '"';
+    out += hex32(isa::encode(program_.code[i]));
+    out += '"';
+  }
+  out += "\n    ]\n  },\n";
+
+  out += "  \"tables\": [";
+  const std::vector<TableWrite> writes = collect_table_writes(program_);
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n    {\"op\": \"";
+    out += writes[i].op;
+    out += "\", \"index\": " + std::to_string(writes[i].index) +
+           ", \"payload\": \"" + hex32(writes[i].payload) + "\"}";
+  }
+  out += writes.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"scan\": {\n    \"candidates\": [";
+  for (std::size_t i = 0; i < scan_.candidates.size(); ++i) {
+    const cfg::MicroPlan& plan = scan_.candidates[i];
+    if (i != 0) out += ",";
+    out += "\n      {\"depth\": " + std::to_string(plan.depth) +
+           ", \"start_pc\": \"" + hex32(plan.start_pc) +
+           "\", \"end_pc\": \"" + hex32(plan.end_pc) +
+           "\", \"index_reg\": " + std::to_string(plan.index_reg) +
+           ", \"initial\": " + std::to_string(plan.initial) +
+           ", \"final\": " + std::to_string(plan.final) +
+           ", \"step\": " + std::to_string(plan.step) + "}";
+  }
+  out += scan_.candidates.empty() ? "],\n" : "\n    ],\n";
+  out += "    \"rejected\": [";
+  for (std::size_t i = 0; i < scan_.rejected.size(); ++i) {
+    const Error& reason = scan_.rejected[i];
+    if (i != 0) out += ",";
+    out += "\n      {\"code\": \"";
+    out += error_code_name(reason.code);
+    out += "\", \"message\": \"" + json::escape(reason.message) + "\"}";
+  }
+  out += scan_.rejected.empty() ? "]\n  }\n" : "\n    ]\n  }\n";
+  out += "}\n";
   return out;
 }
 

@@ -88,6 +88,13 @@ class CompiledUnit {
   /// Full disassembly listing of the lowered program (one line per word).
   [[nodiscard]] std::string disassembly() const;
 
+  /// The whole compile artifact as JSON: unit identity, program summary and
+  /// encoded words, the ZOLC table image recovered from the init prologue
+  /// (one {op, index, payload} record per zolw write), and the zolcscan
+  /// metadata with typed rejection codes. `zolcsim compile --format=json`
+  /// prints exactly this.
+  [[nodiscard]] std::string to_json() const;
+
  private:
   CompiledUnit(const kernels::Kernel& kernel, CompileSpec spec,
                codegen::Program program, cfg::ScanReport scan)

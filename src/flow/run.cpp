@@ -1,5 +1,6 @@
 #include "flow/run.hpp"
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <utility>
@@ -29,6 +30,7 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
   pipe.set_accelerator(controller.get());
   if (plan.predecode) pipe.set_code_image(unit.image());
   pipe.set_pc(program.base);
+  const auto started = std::chrono::steady_clock::now();
   try {
     pipe.run(plan.max_cycles);
   } catch (const cpu::SimError& e) {
@@ -36,6 +38,7 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
         unit_label(unit.kernel().name(), unit.machine()) +
         ": simulation failed");
   }
+  const auto wall = std::chrono::steady_clock::now() - started;
 
   if (auto verified = workload.verify(); !verified.ok()) {
     return std::move(verified).error();
@@ -52,6 +55,8 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
   result.sw_loops = program.sw_loop_count;
   result.code_words = program.size_words();
   result.notes = program.notes;
+  result.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
   return result;
 }
 

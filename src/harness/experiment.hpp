@@ -26,6 +26,10 @@ struct ExperimentResult {
   unsigned sw_loops = 0;
   std::size_t code_words = 0;
   std::vector<std::string> notes;
+  /// Host wall time of the simulation itself (not the compile). Feeds the
+  /// BENCH_*.json MIPS figures only -- never the deterministic CSV/JSON
+  /// report emitters, which must stay byte-identical across hosts.
+  std::uint64_t wall_ns = 0;
 };
 
 /// Runs one (kernel, machine) experiment. Output verification failures and

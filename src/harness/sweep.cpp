@@ -236,6 +236,12 @@ std::string SweepReport::to_json() const {
 }
 
 Result<SweepReport> run_sweep(const SweepSpec& spec) {
+  flow::CompileCache cache;
+  return run_sweep(spec, cache);
+}
+
+Result<SweepReport> run_sweep(const SweepSpec& spec,
+                              flow::CompileCache& cache) {
   SweepReport report;
   report.baseline = spec.baseline;
 
@@ -286,10 +292,10 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
   // lost, so remaining cells (up to max_cycles each) are not worth running.
   //
   // The pipeline-config axis repeats the same (kernel, machine, geometry)
-  // compile, so all workers draw units from one CompileCache: each unit is
-  // compiled exactly once per sweep and every further cell is a cache hit
-  // (counters surface in the report).
-  flow::CompileCache cache;
+  // compile, so all workers draw units from the shared CompileCache: each
+  // unit is compiled at most once per cache lifetime and every further cell
+  // is a cache hit (per-sweep deltas surface in the report).
+  const flow::CompileCache::Stats stats_before = cache.stats();
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   const auto worker = [&] {
@@ -365,8 +371,8 @@ Result<SweepReport> run_sweep(const SweepSpec& spec) {
     }
   }
   const flow::CompileCache::Stats cache_stats = cache.stats();
-  report.compile_cache_hits = cache_stats.hits;
-  report.compile_cache_misses = cache_stats.misses;
+  report.compile_cache_hits = cache_stats.hits - stats_before.hits;
+  report.compile_cache_misses = cache_stats.misses - stats_before.misses;
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {

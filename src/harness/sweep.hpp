@@ -18,6 +18,10 @@
 
 #include "harness/experiment.hpp"
 
+namespace zolcsim::flow {
+class CompileCache;
+}
+
 namespace zolcsim::harness {
 
 /// The experiment grid. Empty dimension = the engine's default for it
@@ -117,8 +121,16 @@ struct SweepReport {
 /// "EX-resolve/rollback" (suffixes "/nofwd" and "/nopredecode" as needed).
 [[nodiscard]] std::string config_name(const cpu::PipelineConfig& config);
 
-/// Executes the sweep. Any failing cell (lowering, simulation, or output
-/// verification) fails the whole sweep with the lowest-index cell's error.
+/// Executes the sweep against a caller-supplied compile cache, so several
+/// sweeps (CLI invocations, scenario suites) share one set of warm units.
+/// The report's cache counters are the delta this sweep contributed, not the
+/// cache's lifetime totals. Any failing cell (lowering, simulation, or
+/// output verification) fails the whole sweep with the lowest-index cell's
+/// error.
+[[nodiscard]] Result<SweepReport> run_sweep(const SweepSpec& spec,
+                                            flow::CompileCache& cache);
+
+/// Convenience overload for one-shot sweeps: a private cache per call.
 [[nodiscard]] Result<SweepReport> run_sweep(const SweepSpec& spec);
 
 /// Parses a "--name=N" unsigned flag from argv (for the bench binaries);

@@ -1,0 +1,32 @@
+// String forms of the sweep axes (machine / ZOLC geometry / pipeline
+// config), matching the names the sweep emitters print (machine_name,
+// ZolcGeometry::label, config_name) so report output and declarative input
+// round-trip. Shared by the zolcsim CLI flags and the scenario-suite parser;
+// every error is kBadConfig.
+#ifndef ZOLCSIM_SCENARIO_PARSE_HPP
+#define ZOLCSIM_SCENARIO_PARSE_HPP
+
+#include <string_view>
+
+#include "codegen/program.hpp"
+#include "common/result.hpp"
+#include "cpu/pipeline.hpp"
+#include "zolc/config.hpp"
+
+namespace zolcsim::scenario {
+
+/// "XRdefault" | "XRhrdwil" | "uZOLC" | "ZOLClite" | "ZOLCfull"
+/// (case-insensitive).
+[[nodiscard]] Result<codegen::MachineKind> parse_machine(std::string_view s);
+
+/// "Nt-Nl-Nx-Ne[-pB]" -- the ZolcGeometry::label() form, e.g. "32t-8l-4x-4e"
+/// or "64t-12l-4x-4e-p14".
+[[nodiscard]] Result<zolc::ZolcGeometry> parse_geometry(std::string_view s);
+
+/// "EX-resolve|ID-resolve" "/rollback|/gate" ["/nofwd"] -- the
+/// harness::config_name() form.
+[[nodiscard]] Result<cpu::PipelineConfig> parse_config(std::string_view s);
+
+}  // namespace zolcsim::scenario
+
+#endif  // ZOLCSIM_SCENARIO_PARSE_HPP

@@ -1,0 +1,214 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+#include <optional>
+
+#include "common/contracts.hpp"
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "scenario/parse.hpp"
+
+namespace zolcsim::scenario {
+
+namespace {
+
+/// Simulated MIPS of one cell: simulated instructions over host wall time.
+double cell_mips(const harness::ExperimentResult& r) {
+  if (r.wall_ns == 0) return 0.0;
+  return static_cast<double>(r.stats.instructions) /
+         (static_cast<double>(r.wall_ns) * 1e-9) / 1e6;
+}
+
+/// Index of the config named `name` (config_name form) in the resolved
+/// axis; empty selects index 0. nullopt when the name is not in the sweep.
+std::optional<std::size_t> config_index(const harness::SweepReport& report,
+                                        const std::string& name) {
+  if (name.empty()) return 0;
+  for (std::size_t c = 0; c < report.configs.size(); ++c) {
+    if (harness::config_name(report.configs[c]) == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> geometry_index(const harness::SweepReport& report,
+                                          const std::string& label) {
+  if (label.empty()) return 0;
+  for (std::size_t g = 0; g < report.geometries.size(); ++g) {
+    if (report.geometries[g].label() == label) return g;
+  }
+  return std::nullopt;
+}
+
+Result<void> check_thresholds(const Suite& suite,
+                              const harness::SweepReport& report) {
+  for (const Threshold& t : suite.thresholds) {
+    const auto machine = parse_machine(t.machine);
+    ZS_ASSERT(machine.ok());  // validated by parse_suite
+    const auto c = config_index(report, t.config);
+    const auto g = geometry_index(report, t.geometry);
+    const harness::ExperimentResult* cell =
+        c && g ? report.find(t.kernel, machine.value(), *c, *g) : nullptr;
+    if (cell == nullptr) {
+      return Error{ErrorCode::kBadConfig,
+                   "threshold names a cell outside the grid: " + t.kernel +
+                       " on " + t.machine}
+          .with_context("suite " + suite.name);
+    }
+    if (t.max_cycles != 0 && cell->stats.cycles > t.max_cycles) {
+      return Error{ErrorCode::kThreshold,
+                   t.kernel + " on " + t.machine + ": " +
+                       std::to_string(cell->stats.cycles) +
+                       " cycles exceeds the threshold of " +
+                       std::to_string(t.max_cycles)}
+          .with_context("suite " + suite.name);
+    }
+    if (t.min_mips > 0.0 && cell_mips(*cell) < t.min_mips) {
+      return Error{ErrorCode::kThreshold,
+                   t.kernel + " on " + t.machine + ": " +
+                       format_fixed(cell_mips(*cell), 2) +
+                       " MIPS below the threshold of " +
+                       format_fixed(t.min_mips, 2)}
+          .with_context("suite " + suite.name);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Result<SuiteOutcome> run_suite(const Suite& suite, flow::CompileCache& cache,
+                               const RunOptions& options) {
+  SuiteOutcome outcome;
+  outcome.suite = suite;
+
+  harness::SweepSpec spec = suite.sweep;
+  spec.threads = options.threads;
+
+  const auto started = std::chrono::steady_clock::now();
+  auto swept = harness::run_sweep(spec, cache);
+  if (!swept.ok()) {
+    return std::move(swept).error().with_context("suite " + suite.name);
+  }
+  outcome.report = std::move(swept).value();
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  outcome.csv = outcome.report.to_csv();
+  outcome.csv_fnv1a64 = fnv1a64(outcome.csv);
+  if (suite.expect_csv_fnv1a64) {
+    if (*suite.expect_csv_fnv1a64 != outcome.csv_fnv1a64) {
+      if (options.enforce_golden) {
+        return Error{ErrorCode::kVerifyMismatch,
+                     "CSV digest " + hex64(outcome.csv_fnv1a64) +
+                         " differs from the golden " +
+                         hex64(*suite.expect_csv_fnv1a64)}
+            .with_context("suite " + suite.name);
+      }
+    } else {
+      outcome.golden_checked = true;
+    }
+  }
+
+  if (options.enforce_thresholds) {
+    if (auto checked = check_thresholds(suite, outcome.report);
+        !checked.ok()) {
+      return std::move(checked).error();
+    }
+  }
+
+  std::uint64_t instructions = 0;
+  for (const harness::SweepCell& cell : outcome.report.cells) {
+    instructions += cell.result.stats.instructions;
+  }
+  if (outcome.wall_seconds > 0.0) {
+    outcome.mips =
+        static_cast<double>(instructions) / outcome.wall_seconds / 1e6;
+  }
+  return outcome;
+}
+
+std::string bench_artifact_name(const Suite& suite) {
+  return "BENCH_" + suite.name + ".json";
+}
+
+std::string bench_artifact_json(const SuiteOutcome& outcome) {
+  const harness::SweepReport& report = outcome.report;
+  const std::size_t total_compiles =
+      report.compile_cache_hits + report.compile_cache_misses;
+  const double hit_rate =
+      total_compiles == 0
+          ? 0.0
+          : static_cast<double>(report.compile_cache_hits) /
+                static_cast<double>(total_compiles);
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(kBenchSchema) + "\",\n";
+  out += "  \"suite\": \"" + json::escape(outcome.suite.name) + "\",\n";
+  out += "  \"description\": \"" + json::escape(outcome.suite.description) +
+         "\",\n";
+  out += "  \"git_sha\": \"" + json::escape(build_git_sha()) + "\",\n";
+  out += "  \"toolchain\": \"" + json::escape(build_toolchain()) + "\",\n";
+  out += "  \"baseline\": \"";
+  out += codegen::machine_name(report.baseline);
+  out += "\",\n";
+  out += "  \"wall_seconds\": " + format_fixed(outcome.wall_seconds, 4) +
+         ",\n";
+  out += "  \"mips\": " + format_fixed(outcome.mips, 2) + ",\n";
+  out += "  \"compile_cache\": {\"hits\": " +
+         std::to_string(report.compile_cache_hits) +
+         ", \"misses\": " + std::to_string(report.compile_cache_misses) +
+         ", \"hit_rate\": " + format_fixed(hit_rate, 3) + "},\n";
+  out += "  \"csv_fnv1a64\": \"" + hex64(outcome.csv_fnv1a64) + "\",\n";
+  out += std::string("  \"golden\": \"") +
+         (outcome.golden_checked ? "match" : "unchecked") + "\",\n";
+  out += "  \"points\": [\n";
+  bool first = true;
+  for (const harness::SweepCell& cell : report.cells) {
+    const harness::ExperimentResult& r = cell.result;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"kernel\": \"" + json::escape(report.kernels[cell.kernel]) +
+           "\", \"machine\": \"";
+    out += codegen::machine_name(report.machines[cell.machine]);
+    out += "\", \"config\": \"" +
+           json::escape(harness::config_name(report.configs[cell.config])) +
+           "\", \"geometry\": \"" +
+           report.geometries[cell.geometry].label() + "\", \"cycles\": " +
+           std::to_string(r.stats.cycles) + ", \"instructions\": " +
+           std::to_string(r.stats.instructions) + ", \"reduction_pct\": " +
+           format_fixed(
+               report.reduction(cell.kernel, cell.machine, cell.config,
+                                cell.geometry),
+               4) +
+           ", \"wall_ns\": " + std::to_string(r.wall_ns) +
+           ", \"mips\": " + format_fixed(cell_mips(r), 2) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string_view build_git_sha() {
+#ifdef ZOLCSIM_GIT_SHA
+  return ZOLCSIM_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_toolchain() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace zolcsim::scenario

@@ -3,6 +3,7 @@
 // predecoded-fetch equivalence the engine's fast path relies on.
 #include <gtest/gtest.h>
 
+#include "flow/cache.hpp"
 #include "harness/sweep.hpp"
 
 namespace zolcsim::harness {
@@ -112,6 +113,30 @@ TEST(Sweep, CompilesEachUnitExactlyOnceAcrossTheConfigAxis) {
     EXPECT_EQ(report.value().compile_cache_misses, 4u);
     EXPECT_EQ(report.value().compile_cache_hits, 8u);
   }
+}
+
+TEST(Sweep, CallerSuppliedCacheIsSharedAndCountersAreDeltas) {
+  // Two sweeps over the same grid against one cache: the second compiles
+  // nothing, and its report counts only its own delta -- not the cache's
+  // lifetime totals.
+  SweepSpec spec;
+  spec.kernels = {"dotprod", "fir"};
+  spec.machines = {MachineKind::kXrDefault, MachineKind::kZolcLite};
+  flow::CompileCache cache;
+
+  const auto cold = run_sweep(spec, cache);
+  ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+  EXPECT_EQ(cold.value().compile_cache_misses, 4u);
+  EXPECT_EQ(cold.value().compile_cache_hits, 0u);
+
+  const auto warm = run_sweep(spec, cache);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_EQ(warm.value().compile_cache_misses, 0u);
+  EXPECT_EQ(warm.value().compile_cache_hits, 4u);
+  EXPECT_EQ(warm.value().to_csv(), cold.value().to_csv());
+
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 4u);
 }
 
 TEST(Sweep, ReductionAndAggregateAreConsistent) {

@@ -37,7 +37,7 @@ TEST(ZolcScan, RecognizesTheCountedLoopIdiom) {
   const auto report = scan_for_micro_loops(code, kBase);
   ASSERT_EQ(report.candidates.size(), 1u) << [&] {
     std::string all;
-    for (const auto& r : report.rejected) all += r + "; ";
+    for (const auto& r : report.rejected) all += r.to_string() + "; ";
     return all;
   }();
   const MicroPlan& plan = report.candidates[0];
@@ -93,7 +93,7 @@ TEST(ZolcScan, RejectsLiveOutIndex) {
   const auto report = scan_for_micro_loops(code, kBase);
   EXPECT_TRUE(report.candidates.empty());
   ASSERT_FALSE(report.rejected.empty());
-  EXPECT_NE(report.rejected[0].find("live after"), std::string::npos);
+  EXPECT_EQ(report.rejected[0].code, ErrorCode::kScanLiveIndex);
 }
 
 TEST(ZolcScan, RejectsNonConstantBound) {
@@ -101,6 +101,7 @@ TEST(ZolcScan, RejectsNonConstantBound) {
   code[2] = b::add(24, 20, 21);  // bound computed, not a constant
   const auto report = scan_for_micro_loops(code, kBase);
   EXPECT_TRUE(report.candidates.empty());
+  EXPECT_TRUE(report.rejected_with(ErrorCode::kScanNonConstantBound));
 }
 
 TEST(ZolcScan, RejectsMultiExitLoops) {
@@ -113,6 +114,7 @@ TEST(ZolcScan, RejectsMultiExitLoops) {
   };
   const auto report = scan_for_micro_loops(code, kBase);
   EXPECT_TRUE(report.candidates.empty());
+  EXPECT_TRUE(report.rejected_with(ErrorCode::kScanMultiExit));
 }
 
 TEST(ZolcScan, RejectsBranchIntoPatchedTail) {
@@ -127,11 +129,7 @@ TEST(ZolcScan, RejectsBranchIntoPatchedTail) {
   };
   const auto report = scan_for_micro_loops(code, kBase);
   EXPECT_TRUE(report.candidates.empty());
-  bool mentioned = false;
-  for (const auto& r : report.rejected) {
-    if (r.find("patched tail") != std::string::npos) mentioned = true;
-  }
-  EXPECT_TRUE(mentioned);
+  EXPECT_TRUE(report.rejected_with(ErrorCode::kScanTailTargeted));
 }
 
 // ---------------- end-to-end on compiled kernels ----------------
@@ -149,7 +147,7 @@ TEST_P(ScanKernels, AcceleratesTheCompiledBinaryCorrectly) {
   const auto report = scan_for_micro_loops(prog.value().code, kBase);
   ASSERT_FALSE(report.candidates.empty()) << [&] {
     std::string all;
-    for (const auto& r : report.rejected) all += r + "; ";
+    for (const auto& r : report.rejected) all += r.to_string() + "; ";
     return all;
   }();
   const MicroPlan* plan = report.best();
@@ -213,7 +211,7 @@ TEST(ZolcScan, DeepNestBinaryIsScannable) {
   const auto report = scan_for_micro_loops(prog.value().code, kBase, options);
   ASSERT_FALSE(report.candidates.empty()) << [&] {
     std::string all;
-    for (const auto& r : report.rejected) all += r + "; ";
+    for (const auto& r : report.rejected) all += r.to_string() + "; ";
     return all;
   }();
   const MicroPlan* plan = report.best();

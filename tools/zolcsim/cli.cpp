@@ -4,116 +4,20 @@
 
 namespace zolcsim::cli {
 
-namespace {
-
-Error bad_config(std::string msg) {
-  return Error{ErrorCode::kBadConfig, std::move(msg)};
-}
-
-/// Parses the "<number><suffix>" geometry segments ("32t", "8l", ...).
-Result<unsigned> geometry_field(std::string_view seg, char suffix) {
-  if (seg.empty() || seg.back() != suffix) {
-    return bad_config(std::string("expected a '") + suffix +
-                      "' geometry segment, got '" + std::string(seg) + "'");
-  }
-  const auto n = parse_int(seg.substr(0, seg.size() - 1));
-  if (!n || *n < 0 || *n > 0xFFFF) {  // every table count fits well below
-    return bad_config("bad geometry segment '" + std::string(seg) + "'");
-  }
-  return static_cast<unsigned>(*n);
-}
-
-}  // namespace
+// The axis grammars themselves live in the library (scenario/parse) so the
+// scenario-suite parser and the CLI accept exactly the same strings; the
+// cli:: names are kept as the tool-facing surface.
 
 Result<codegen::MachineKind> parse_machine(std::string_view s) {
-  const std::string lower = to_lower(s);
-  for (const codegen::MachineKind machine : codegen::kAllMachines) {
-    if (lower == to_lower(codegen::machine_name(machine))) {
-      return machine;
-    }
-  }
-  std::string known;
-  for (const codegen::MachineKind machine : codegen::kAllMachines) {
-    if (!known.empty()) known += ", ";
-    known += codegen::machine_name(machine);
-  }
-  return bad_config("unknown machine '" + std::string(s) + "' (known: " +
-                    known + ")");
+  return scenario::parse_machine(s);
 }
 
 Result<zolc::ZolcGeometry> parse_geometry(std::string_view s) {
-  const std::vector<std::string_view> segs = split(s, '-');
-  if (segs.size() != 4 && segs.size() != 5) {
-    return bad_config("geometry must look like 32t-8l-4x-4e[-p14], got '" +
-                      std::string(s) + "'");
-  }
-  zolc::ZolcGeometry g;
-  const char suffixes[4] = {'t', 'l', 'x', 'e'};
-  unsigned* fields[4] = {&g.max_tasks, &g.max_loops, &g.max_exits_per_loop,
-                         &g.max_entries_per_loop};
-  for (int i = 0; i < 4; ++i) {
-    auto field = geometry_field(segs[static_cast<std::size_t>(i)],
-                                suffixes[i]);
-    if (!field.ok()) return std::move(field).error();
-    *fields[i] = field.value();
-  }
-  if (segs.size() == 5) {
-    const std::string_view seg = segs[4];
-    if (seg.size() < 2 || seg.front() != 'p') {
-      return bad_config("bad geometry PC-width segment '" + std::string(seg) +
-                        "' (expected e.g. p14)");
-    }
-    const auto bits = parse_int(seg.substr(1));
-    if (!bits || *bits <= 0 || *bits > 64) {
-      return bad_config("bad geometry PC-width segment '" + std::string(seg) +
-                        "'");
-    }
-    g.pc_ofs_bits = static_cast<unsigned>(*bits);
-  }
-  if (!g.valid()) {
-    return bad_config("invalid ZOLC geometry " + g.label());
-  }
-  return g;
+  return scenario::parse_geometry(s);
 }
 
 Result<cpu::PipelineConfig> parse_config(std::string_view s) {
-  cpu::PipelineConfig config;
-  bool saw_resolve = false;
-  bool saw_policy = false;
-  for (const std::string_view part : split(s, '/')) {
-    const std::string lower = to_lower(part);
-    if (lower == "ex-resolve" || lower == "id-resolve") {
-      if (saw_resolve) {
-        return bad_config("conflicting resolve-stage tokens in '" +
-                          std::string(s) + "'");
-      }
-      config.branch_resolve = lower == "ex-resolve"
-                                  ? cpu::BranchResolveStage::kExecute
-                                  : cpu::BranchResolveStage::kDecode;
-      saw_resolve = true;
-    } else if (lower == "rollback" || lower == "gate") {
-      if (saw_policy) {
-        return bad_config("conflicting speculation-policy tokens in '" +
-                          std::string(s) + "'");
-      }
-      config.speculation = lower == "rollback"
-                               ? cpu::SpeculationPolicy::kRollback
-                               : cpu::SpeculationPolicy::kGate;
-      saw_policy = true;
-    } else if (lower == "nofwd") {
-      config.forwarding = false;
-    } else {
-      return bad_config("unknown pipeline-config token '" +
-                        std::string(part) +
-                        "' (expected EX-resolve|ID-resolve, rollback|gate, "
-                        "nofwd)");
-    }
-  }
-  if (!saw_resolve || !saw_policy) {
-    return bad_config("pipeline config needs a resolve stage and a "
-                      "speculation policy, e.g. EX-resolve/rollback");
-  }
-  return config;
+  return scenario::parse_config(s);
 }
 
 Args Args::parse(int argc, char** argv, int skip) {

@@ -13,12 +13,14 @@
 #include "codegen/program.hpp"
 #include "common/result.hpp"
 #include "cpu/pipeline.hpp"
+#include "scenario/parse.hpp"
 #include "zolc/config.hpp"
 
 namespace zolcsim::cli {
 
 /// "XRdefault" | "XRhrdwil" | "uZOLC" | "ZOLClite" | "ZOLCfull"
-/// (case-insensitive). Error: kBadConfig.
+/// (case-insensitive). Error: kBadConfig. Thin wrappers over
+/// scenario::parse_* -- one grammar for flags and suite files.
 [[nodiscard]] Result<codegen::MachineKind> parse_machine(std::string_view s);
 
 /// "Nt-Nl-Nx-Ne[-pB]" -- the ZolcGeometry::label() form, e.g. "32t-8l-4x-4e"

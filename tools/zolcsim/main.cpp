@@ -5,24 +5,29 @@
 //                                      zolcscan report
 //   zolcsim run <kernel> [...]         compile + run one experiment
 //   zolcsim sweep [...]                grid sweep, CSV/JSON to stdout/file
+//   zolcsim bench [...]                run scenario suites, emit BENCH_*.json
 //
 // Run `zolcsim help` (or any subcommand with bad flags) for the full flag
 // list. Exit codes: 0 success, 1 toolchain error, 2 usage error.
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "cli.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "flow/cache.hpp"
 #include "flow/compiled_unit.hpp"
 #include "flow/run.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/kernels.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
@@ -39,6 +44,7 @@ commands:
       --geometry=LABEL      ZOLC geometry, e.g. 32t-8l-4x-4e[-p14]
       --disasm              print the lowered program disassembly
       --scan                print the zolcscan post-link analysis
+      --format=text|json    json: program words + table image + scan
   run <kernel>              compile + execute + verify one experiment
       --machine=NAME --geometry=LABEL
       --config=NAME         pipeline config, e.g. EX-resolve/rollback[/nofwd]
@@ -53,8 +59,22 @@ commands:
       --max-cycles=N --threads=N
       --format=csv|json     default csv
       --out=FILE            default stdout
+      --from-file=SUITE     run a scenario suite file instead of grid flags
+                            (verifies the suite's golden digest + thresholds)
+  bench                     run scenario suites, write BENCH_<suite>.json
+      --suite-dir=DIR       directory of *.json suite files
+      --out-dir=DIR         artifact directory    (default .)
+      --threads=N
 exit codes: 0 ok, 1 toolchain error, 2 usage error
 )";
+
+/// One compile cache for the whole process: consecutive suites (and a
+/// sweep following them) share warm units, which is the point of the
+/// caller-supplied-cache run_sweep overload.
+flow::CompileCache& process_cache() {
+  static flow::CompileCache cache;
+  return cache;
+}
 
 int usage_error(const std::string& message) {
   std::fprintf(stderr, "%s\n\n%s", message.c_str(), kUsage);
@@ -191,20 +211,39 @@ void print_scan_report(const flow::CompiledUnit& unit) {
                 hex32(plan.end_pc).c_str(), plan.index_reg, plan.initial,
                 plan.final, plan.step);
   }
-  for (const std::string& reason : scan.rejected) {
-    std::printf("  rejected: %s\n", reason.c_str());
+  for (const Error& reason : scan.rejected) {
+    std::printf("  rejected[%s]: %s\n",
+                std::string(error_code_name(reason.code)).c_str(),
+                reason.to_string().c_str());
   }
 }
 
 int cmd_compile(const cli::Args& args) {
-  if (const int rc = reject_unknown_flags(args, {"machine", "geometry"},
+  if (const int rc = reject_unknown_flags(args,
+                                          {"machine", "geometry", "format"},
                                           {"disasm", "scan"})) {
     return rc;
   }
   UnitRequest request;
   if (const int rc = parse_unit_request(args, request)) return rc;
+  int rc = 0;
+  bool json_format = false;
+  if (const auto format = nonempty_value(args, "format", rc)) {
+    if (*format != "text" && *format != "json") {
+      return usage_error("bad --format value '" + *format +
+                         "' (text or json)");
+    }
+    json_format = *format == "json";
+  }
+  if (rc != 0) return rc;
   auto unit = flow::CompiledUnit::compile(request.spec);
   if (!unit.ok()) return toolchain_error(unit.error());
+  if (json_format) {
+    // The JSON artifact subsumes --disasm/--scan: words, tables, and the
+    // full scan report are always present.
+    std::fputs(unit.value().to_json().c_str(), stdout);
+    return 0;
+  }
   print_unit_summary(unit.value());
   if (args.has("disasm")) {
     std::printf("\n%s", unit.value().disassembly().c_str());
@@ -263,19 +302,79 @@ int cmd_run(const cli::Args& args) {
 
 // --------------------------------------------------------------- sweep ----
 
+/// Renders a sweep report to --out/stdout per --format. Shared by the grid
+/// and --from-file paths of `sweep`.
+int emit_sweep_report(const harness::SweepReport& report,
+                      const std::string& format_name,
+                      const std::optional<std::string>& out_path) {
+  const std::string rendered =
+      format_name == "json" ? report.to_json() : report.to_csv();
+  if (out_path) {
+    std::ofstream file(*out_path, std::ios::binary);
+    file << rendered;
+    file.flush();  // surface deferred write errors (e.g. disk full) here
+    if (!file.good()) {
+      return toolchain_error(
+          Error{ErrorCode::kIo, "cannot write '" + *out_path + "'"});
+    }
+    std::fprintf(stderr,
+                 "wrote %zu cells to %s (%zu compiles, %zu cache hits)\n",
+                 report.cells.size(), out_path->c_str(),
+                 report.compile_cache_misses, report.compile_cache_hits);
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_sweep(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
           args,
           {"kernels", "machines", "configs", "geometries", "baseline",
-           "max-cycles", "threads", "format", "out"},
+           "max-cycles", "threads", "format", "out", "from-file"},
           {})) {
     return rc;
   }
   if (!args.positional.empty()) {
     return usage_error("sweep takes no positional arguments");
   }
-  harness::SweepSpec spec;
   int rc = 0;
+  if (const auto suite_path = nonempty_value(args, "from-file", rc)) {
+    // Suite mode: the file is the grid; only execution/output flags apply.
+    for (const std::string_view grid_flag :
+         {"kernels", "machines", "configs", "geometries", "baseline",
+          "max-cycles"}) {
+      if (args.value_of(grid_flag)) {
+        return usage_error("--" + std::string(grid_flag) +
+                           " conflicts with --from-file (the suite file "
+                           "defines the grid)");
+      }
+    }
+    scenario::RunOptions options;
+    if (const auto threads = positive_int_flag(args, "threads", rc, 4096)) {
+      options.threads = static_cast<unsigned>(*threads);
+    }
+    std::string format_name = "csv";
+    if (const auto format = nonempty_value(args, "format", rc)) {
+      if (*format != "csv" && *format != "json") {
+        return usage_error("bad --format value '" + *format +
+                           "' (csv or json)");
+      }
+      format_name = *format;
+    }
+    const auto out_path = nonempty_value(args, "out", rc);
+    if (rc != 0) return rc;
+
+    auto suite = scenario::load_suite_file(*suite_path);
+    if (!suite.ok()) return toolchain_error(suite.error());
+    auto outcome =
+        scenario::run_suite(suite.value(), process_cache(), options);
+    if (!outcome.ok()) return toolchain_error(outcome.error());
+    return emit_sweep_report(outcome.value().report, format_name, out_path);
+  }
+  if (rc != 0) return rc;
+
+  harness::SweepSpec spec;
   if (const auto kernels = nonempty_value(args, "kernels", rc)) {
     spec.kernels = cli::split_list(*kernels);
   }
@@ -322,27 +421,73 @@ int cmd_sweep(const cli::Args& args) {
   const auto out_path = nonempty_value(args, "out", rc);
   if (rc != 0) return rc;
 
-  const auto swept = harness::run_sweep(spec);
+  const auto swept = harness::run_sweep(spec, process_cache());
   if (!swept.ok()) return toolchain_error(swept.error());
-  const harness::SweepReport& report = swept.value();
+  return emit_sweep_report(swept.value(), format_name, out_path);
+}
 
-  const std::string rendered =
-      format_name == "json" ? report.to_json() : report.to_csv();
-  if (out_path) {
-    std::ofstream file(*out_path, std::ios::binary);
-    file << rendered;
-    file.flush();  // surface deferred write errors (e.g. disk full) here
+// --------------------------------------------------------------- bench ----
+
+int cmd_bench(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(
+          args, {"suite-dir", "out-dir", "threads"}, {})) {
+    return rc;
+  }
+  if (!args.positional.empty()) {
+    return usage_error("bench takes no positional arguments");
+  }
+  int rc = 0;
+  const auto suite_dir = nonempty_value(args, "suite-dir", rc);
+  if (rc != 0) return rc;
+  if (!suite_dir) return usage_error("bench requires --suite-dir=DIR");
+  std::string out_dir = ".";
+  if (const auto dir = nonempty_value(args, "out-dir", rc)) out_dir = *dir;
+  scenario::RunOptions options;
+  if (const auto threads = positive_int_flag(args, "threads", rc, 4096)) {
+    options.threads = static_cast<unsigned>(*threads);
+  }
+  if (rc != 0) return rc;
+
+  const auto files = scenario::list_suite_files(*suite_dir);
+  if (!files.ok()) return toolchain_error(files.error());
+  if (files.value().empty()) {
+    return toolchain_error(Error{
+        ErrorCode::kIo, "no *.json suite files in '" + *suite_dir + "'"});
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return toolchain_error(Error{ErrorCode::kIo,
+                                 "cannot create artifact directory '" +
+                                     out_dir + "': " + ec.message()});
+  }
+
+  for (const std::string& path : files.value()) {
+    auto suite = scenario::load_suite_file(path);
+    if (!suite.ok()) return toolchain_error(suite.error());
+    auto outcome =
+        scenario::run_suite(suite.value(), process_cache(), options);
+    if (!outcome.ok()) return toolchain_error(outcome.error());
+    const scenario::SuiteOutcome& done = outcome.value();
+
+    const std::string artifact = out_dir + "/" +
+                                 scenario::bench_artifact_name(done.suite);
+    std::ofstream file(artifact, std::ios::binary);
+    file << scenario::bench_artifact_json(done);
+    file.flush();
     if (!file.good()) {
       return toolchain_error(
-          Error{ErrorCode::kIo, "cannot write '" + *out_path + "'"});
+          Error{ErrorCode::kIo, "cannot write '" + artifact + "'"});
     }
-    std::fprintf(stderr,
-                 "wrote %zu cells to %s (%zu compiles, %zu cache hits)\n",
-                 report.cells.size(), out_path->c_str(),
-                 report.compile_cache_misses, report.compile_cache_hits);
-  } else {
-    std::fputs(rendered.c_str(), stdout);
+    std::printf("suite %-20s %4zu cells  golden %-9s %7.2fs  %8.2f MIPS\n",
+                done.suite.name.c_str(), done.report.cells.size(),
+                done.golden_checked ? "match" : "unchecked",
+                done.wall_seconds, done.mips);
   }
+  const flow::CompileCache::Stats cache = process_cache().stats();
+  std::printf("compile cache: %zu compiles, %zu hits across %zu suites\n",
+              cache.misses, cache.hits, files.value().size());
   return 0;
 }
 
@@ -356,6 +501,7 @@ int main(int argc, char** argv) {
   if (command == "compile") return cmd_compile(args);
   if (command == "run") return cmd_run(args);
   if (command == "sweep") return cmd_sweep(args);
+  if (command == "bench") return cmd_bench(args);
   if (command == "help" || command == "--help" || command == "-h") {
     std::fputs(kUsage, stdout);
     return 0;
