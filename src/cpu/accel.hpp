@@ -26,13 +26,50 @@ struct RfWrite {
   friend bool operator==(const RfWrite&, const RfWrite&) = default;
 };
 
+/// Small-vector of RfWrites. Events sit on both simulators' hot paths and
+/// almost always carry one or two writes (a continue event's index update,
+/// a done event's reinit), so the common case stays inline and
+/// allocation-free; deep cascade reinits spill to the heap.
+class RfWriteList {
+ public:
+  void push_back(const RfWrite& w) {
+    if (spill_.empty() && n_ < kInlineCap) {
+      inline_[n_++] = w;
+      return;
+    }
+    if (spill_.empty()) {
+      spill_.assign(inline_.begin(), inline_.begin() + n_);
+      n_ = 0;  // invariant: a non-empty spill owns all elements
+    }
+    spill_.push_back(w);
+  }
+
+  [[nodiscard]] const RfWrite* begin() const noexcept {
+    return spill_.empty() ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] const RfWrite* end() const noexcept { return begin() + size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return spill_.empty() ? n_ : spill_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const RfWrite& operator[](std::size_t i) const noexcept {
+    return begin()[i];
+  }
+
+ private:
+  static constexpr std::size_t kInlineCap = 4;
+  std::array<RfWrite, kInlineCap> inline_{};
+  std::uint8_t n_ = 0;
+  std::vector<RfWrite> spill_;
+};
+
 /// Result of a fetch-time or resolution-time ZOLC event.
 struct AccelEvent {
   /// New fetch target (task switching); nullopt = fall through.
   std::optional<std::uint32_t> redirect;
   /// Index write-backs. The pipeline applies them when the triggering
   /// instruction becomes non-speculative (entering its resolution stage).
-  std::vector<RfWrite> rf_writes;
+  RfWriteList rf_writes;
 };
 
 /// Capacity of the per-loop snapshot state. Matches the largest loop table
@@ -78,6 +115,86 @@ struct AccelSnapshot {
   }
 };
 
+/// Static description of the innermost hardware-managed loop the controller
+/// is currently iterating: the summary-execution tier's view of the
+/// hardware. Valid only while the controller sits in a self-looping task
+/// (the continue successor re-enters the same task), i.e. a body that
+/// repeats under pure back-edge control with no task switching.
+struct LoopSummaryInfo {
+  std::uint32_t body_start = 0;  ///< PC of the first body instruction
+  std::uint32_t body_end = 0;    ///< PC of the last body instruction (the
+                                 ///< task-end trigger comparator value)
+  std::uint8_t index_rf = 0;     ///< GPR receiving the index write-back
+  std::int32_t step = 0;         ///< index increment per back-edge
+  std::int32_t current = 0;      ///< live index value (mirrors index_rf)
+  /// Back-edges the hardware will still take before the done event, by the
+  /// loop-condition recurrence. The body therefore executes remaining + 1
+  /// more times (the final iteration's boundary event is `done`).
+  std::uint64_t remaining = 0;
+  /// ZOLCfull only: candidate-exit records are armed for this loop. The
+  /// summary tier must decline (a record could fire on a body branch).
+  bool has_exit_records = false;
+};
+
+/// Loop-condition relation for NestLoopDesc, matching the controller's
+/// comparator semantics: the back-edge is taken while
+/// nest_cond_holds(cond, current + step, final).
+enum class NestCond : std::uint8_t { kLt, kLe, kGt, kGe };
+
+[[nodiscard]] inline bool nest_cond_holds(NestCond cond, std::int32_t value,
+                                          std::int32_t final_value) noexcept {
+  switch (cond) {
+    case NestCond::kLt: return value < final_value;
+    case NestCond::kLe: return value <= final_value;
+    case NestCond::kGt: return value > final_value;
+    case NestCond::kGe: return value >= final_value;
+  }
+  return false;
+}
+
+/// One loop-table entry exported to the summary tier (NestProgram).
+struct NestLoopDesc {
+  std::uint8_t index_rf = 0;
+  NestCond cond = NestCond::kLt;
+  bool valid = false;
+  /// ZOLCfull: candidate-exit records are armed for this loop; the summary
+  /// tier declines bodies it controls.
+  bool has_exit_records = false;
+  std::int32_t step = 0;
+  std::int32_t initial = 0;
+  std::int32_t final = 0;
+  /// Total iterations per entry from `initial` (back-edges + 1), or 0 when
+  /// the recurrence does not terminate.
+  std::uint64_t trips = 0;
+};
+
+/// One task-table entry exported to the summary tier, with the PC offsets
+/// resolved to byte addresses against the activation base.
+struct NestTaskDesc {
+  std::uint32_t start_pc = 0;
+  std::uint32_t end_pc = 0;
+  std::uint8_t loop = 0;  ///< controlling loop (index into NestProgram::loops)
+  std::uint8_t cont = 0;  ///< continue-successor task
+  std::uint8_t done = 0;  ///< done-successor task
+  bool is_last = false;
+  bool valid = false;
+  /// A fetch event at end_pc is statically guaranteed to resolve without a
+  /// hardware fault (every task in the done-cascade from here references a
+  /// valid loop and the chain cannot exceed the cascade depth limit).
+  /// Tasks without it never enter summary execution, so the baseline raises
+  /// any table-programming fault precisely.
+  bool walk_safe = false;
+};
+
+/// The controller's task/loop tables in summary-executable form: a pure
+/// function of the programmed tables and activation base, so it stays valid
+/// for a whole active period (tables cannot be rewritten while active).
+/// Dynamic state (loop currents, current task) comes from AccelSnapshot.
+struct NestProgram {
+  std::vector<NestTaskDesc> tasks;
+  std::vector<NestLoopDesc> loops;
+};
+
 class LoopAccelerator {
  public:
   virtual ~LoopAccelerator() = default;
@@ -111,6 +228,53 @@ class LoopAccelerator {
 
   [[nodiscard]] virtual AccelSnapshot snapshot() const = 0;
   virtual void restore(const AccelSnapshot& snapshot) = 0;
+
+  /// The latched task-end comparator value: the PC whose fetch will raise
+  /// the next event, when the controller is active and armed. The summary
+  /// tier uses it to bound the straight-line region it may replay.
+  /// Equivalent to the will_trigger() predicate, exposed as a value.
+  [[nodiscard]] virtual std::optional<std::uint32_t> trigger_pc() const {
+    return std::nullopt;
+  }
+
+  /// Summary-tier hook: the innermost loop currently being iterated, when
+  /// the controller can describe it (active, self-looping task, computable
+  /// trip count). Default: no summary, so accelerators that do not opt in
+  /// simply never engage the fast path.
+  [[nodiscard]] virtual std::optional<LoopSummaryInfo> innermost_summary()
+      const {
+    return std::nullopt;
+  }
+
+  /// Summary-tier hook: applies `iterations` back-edges of the innermost
+  /// loop in one step -- index advance and continue-event accounting exactly
+  /// as if on_fetch had fired that many times without reaching `done`.
+  /// Precondition: innermost_summary() returned remaining >= iterations.
+  virtual void advance_innermost(std::uint64_t iterations) {
+    (void)iterations;
+  }
+
+  /// Summary-tier hook: the programmed tables in executable form, or
+  /// nullptr when the accelerator cannot export them (then the summary tier
+  /// falls back to per-event chaining through on_fetch). The pointer stays
+  /// valid until the next table write, activation, or reset.
+  [[nodiscard]] virtual const NestProgram* nest_program() const {
+    return nullptr;
+  }
+
+  /// Summary-tier hook: credits event counters for boundary events the
+  /// summary tier resolved itself via nest_program() (their architectural
+  /// effects were applied through restore() and direct register writes).
+  /// Mirrors exactly what the skipped on_fetch calls would have counted.
+  virtual void credit_summary_events(std::uint64_t continues,
+                                     std::uint64_t dones,
+                                     std::uint64_t cascades,
+                                     std::uint64_t max_cascade_depth) {
+    (void)continues;
+    (void)dones;
+    (void)cascades;
+    (void)max_cascade_depth;
+  }
 };
 
 }  // namespace zolcsim::cpu

@@ -15,6 +15,7 @@ using isa::Opcode;
 
 void Iss::step() {
   if (halted_) return;
+  fetch_redirected_ = false;
 
   const Instruction instr =
       image_.covers(pc_) ? image_.at(pc_) : isa::decode(mem_.fetch32(pc_));
@@ -153,6 +154,7 @@ void Iss::step() {
     for (const RfWrite& w : fetch_event->rf_writes) {
       regs_.write(w.reg, w.value);
     }
+    fetch_redirected_ = fetch_event->redirect.has_value();
     pc_ = fetch_event->redirect.value_or(pc_ + 4);
     return;
   }
@@ -160,6 +162,8 @@ void Iss::step() {
 }
 
 std::uint64_t Iss::run(std::uint64_t max_steps) {
+  stats_ = IssStats{};
+  summarizer_.reset_stats();
   std::uint64_t executed = 0;
   while (!halted_) {
     if (executed >= max_steps) {
@@ -168,6 +172,21 @@ std::uint64_t Iss::run(std::uint64_t max_steps) {
     }
     step();
     ++executed;
+    // A fetch-event redirect is the only way execution (re-)enters a
+    // ZOLC-managed body's first instruction mid-region; that is where the
+    // summary tier can take over. Disabled under a retire hook, which must
+    // observe every instruction individually.
+    if (fast_path_ && fetch_redirected_ && accel_ != nullptr &&
+        !retire_hook_) {
+      const LoopSummarizer::Replay replay = summarizer_.try_engage(
+          *accel_, image_, mem_, regs_, pc_, max_steps - executed);
+      if (replay.engaged) {
+        executed += replay.instructions;
+        stats_.instructions += replay.instructions;
+        stats_.zolc_fetch_events += replay.fetch_events;
+        pc_ = replay.resume_pc;
+      }
+    }
   }
   return executed;
 }

@@ -13,6 +13,7 @@
 #include "cpu/accel.hpp"
 #include "cpu/exec.hpp"
 #include "cpu/regfile.hpp"
+#include "cpu/summary.hpp"
 #include "isa/code_image.hpp"
 #include "mem/memory.hpp"
 
@@ -41,7 +42,18 @@ class Iss {
   /// Attaches a predecoded code image (non-owning; must outlive the ISS).
   /// Fetches inside the image skip the per-step decode; fetches outside it
   /// decode from memory as before.
-  void set_code_image(isa::CodeImage image) noexcept { image_ = image; }
+  void set_code_image(isa::CodeImage image) noexcept {
+    image_ = image;
+    summarizer_.clear_cache();
+  }
+
+  /// Enables the loop-summary fast path (DESIGN.md section 7): hardware-
+  /// managed innermost loops replay through pre-bound micro-ops instead of
+  /// per-instruction stepping. Architecturally invisible; automatically
+  /// disabled while a retire hook is attached (the hook must observe every
+  /// instruction individually).
+  void set_fast_path(bool on) noexcept { fast_path_ = on; }
+  [[nodiscard]] bool fast_path() const noexcept { return fast_path_; }
 
   /// Observer called after each executed instruction.
   void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
@@ -53,13 +65,20 @@ class Iss {
   [[nodiscard]] RegFile& regs() noexcept { return regs_; }
   [[nodiscard]] const RegFile& regs() const noexcept { return regs_; }
   [[nodiscard]] const IssStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FastPathStats& fastpath_stats() const noexcept {
+    return summarizer_.stats();
+  }
+  /// Direct summarizer access for tests (thresholds, validation seam).
+  [[nodiscard]] LoopSummarizer& summarizer() noexcept { return summarizer_; }
 
   /// Executes one instruction. No-op when halted. Throws SimError on an
   /// invalid instruction or a ZOLC instruction with no accelerator attached.
   void step();
 
   /// Runs until halt or `max_steps`. Returns the number of instructions
-  /// executed by this call. Throws SimError if the limit is hit.
+  /// executed by this call. Throws SimError if the limit is hit. Starts
+  /// from clean IssStats and FastPathStats so counters describe this run
+  /// only, regardless of earlier step()/run() activity.
   std::uint64_t run(std::uint64_t max_steps);
 
  private:
@@ -68,8 +87,11 @@ class Iss {
   isa::CodeImage image_;
   LoopAccelerator* accel_ = nullptr;
   RetireHook retire_hook_;
+  LoopSummarizer summarizer_;
   std::uint32_t pc_ = 0;
   bool halted_ = false;
+  bool fast_path_ = false;
+  bool fetch_redirected_ = false;  ///< last step applied a fetch-event redirect
   IssStats stats_;
 };
 

@@ -206,8 +206,9 @@ void Pipeline::cycle() {
         break;
       }
       case Format::kMem:
-        ex.alu = static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
-                                           static_cast<std::uint32_t>(instr.imm));
+        ex.alu =
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                      static_cast<std::uint32_t>(instr.imm));
         ex.store_val = rt_fwd;
         break;
       case Format::kBranchCmp:
@@ -284,7 +285,8 @@ void Pipeline::cycle() {
     } else {
       // No forwarding: wait until every producer has written back.
       const bool hazard =
-          (ex_stage_valid && writes_reg(isa::dest_reg(cur.id_ex.instr), srcs)) ||
+          (ex_stage_valid &&
+           writes_reg(isa::dest_reg(cur.id_ex.instr), srcs)) ||
           (cur.ex_mem.valid && writes_reg(cur.ex_mem.dest, srcs));
       if (hazard) {
         stall = true;

@@ -31,6 +31,18 @@ class RegFile {
     write(reg, static_cast<std::int32_t>(value));
   }
 
+  // Unchecked accessors for the ISS summary tier's replay loop: its
+  // pre-bound micro-ops and exported loop descriptors carry 5-bit register
+  // fields, so the precondition holds by construction.
+
+  [[nodiscard]] std::int32_t read_raw(unsigned reg) const noexcept {
+    return regs_[reg];
+  }
+
+  void write_raw(unsigned reg, std::int32_t value) noexcept {
+    if (reg != 0) regs_[reg] = value;
+  }
+
   void reset() { regs_.fill(0); }
 
   friend bool operator==(const RegFile&, const RegFile&) = default;

@@ -5,14 +5,55 @@
 #include <string>
 #include <utility>
 
+#include "cpu/iss.hpp"
 #include "zolc/controller.hpp"
 
 namespace zolcsim::flow {
 
+namespace {
+
+/// Runs the unit on the functional ISS. The ISS is 1-CPI by construction,
+/// so the returned PipelineStats report cycles == instructions; pipeline-
+/// specific counters (stalls, flushes) stay zero.
+cpu::PipelineStats run_iss(const CompiledUnit& unit, Workload& workload,
+                           const RunPlan& plan,
+                           zolc::ZolcController* controller,
+                           cpu::FastPathStats& fastpath) {
+  cpu::Iss iss(workload.memory());
+  iss.set_accelerator(controller);
+  if (plan.predecode) iss.set_code_image(unit.image());
+  iss.set_fast_path(plan.mode.fast_path);
+  iss.set_pc(unit.program().base);
+  iss.run(plan.max_cycles);
+  fastpath = iss.fastpath_stats();
+
+  const cpu::IssStats& stats = iss.stats();
+  cpu::PipelineStats out;
+  out.cycles = stats.instructions;
+  out.instructions = stats.instructions;
+  out.taken_control = stats.taken_control;
+  out.zolc_fetch_events = stats.zolc_fetch_events;
+  out.zolc_resolution_events = stats.zolc_resolution_events;
+  return out;
+}
+
+}  // namespace
+
 Result<harness::ExperimentResult> run(const CompiledUnit& unit,
                                       const RunPlan& plan) {
   Workload workload = Workload::prepare(unit);
-  return run(unit, workload, plan);
+  auto result = run(unit, workload, plan);
+  // Extra timing reps: identical runs on fresh workloads, keeping the
+  // minimum wall time (the least-disturbed measurement of the same work).
+  for (std::uint64_t rep = 1; result.ok() && rep < plan.timing_reps; ++rep) {
+    Workload fresh = Workload::prepare(unit);
+    auto again = run(unit, fresh, plan);
+    if (!again.ok()) return again;
+    if (again.value().wall_ns < result.value().wall_ns) {
+      result.value().wall_ns = again.value().wall_ns;
+    }
+  }
+  return result;
 }
 
 Result<harness::ExperimentResult> run(const CompiledUnit& unit,
@@ -26,13 +67,20 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
         std::make_unique<zolc::ZolcController>(*variant, unit.geometry());
   }
 
-  cpu::Pipeline pipe(workload.memory(), plan.config);
-  pipe.set_accelerator(controller.get());
-  if (plan.predecode) pipe.set_code_image(unit.image());
-  pipe.set_pc(program.base);
+  cpu::PipelineStats stats;
+  cpu::FastPathStats fastpath;
   const auto started = std::chrono::steady_clock::now();
   try {
-    pipe.run(plan.max_cycles);
+    if (plan.mode.engine == harness::SimEngine::kIss) {
+      stats = run_iss(unit, workload, plan, controller.get(), fastpath);
+    } else {
+      cpu::Pipeline pipe(workload.memory(), plan.config);
+      pipe.set_accelerator(controller.get());
+      if (plan.predecode) pipe.set_code_image(unit.image());
+      pipe.set_pc(program.base);
+      pipe.run(plan.max_cycles);
+      stats = pipe.stats();
+    }
   } catch (const cpu::SimError& e) {
     return Error{ErrorCode::kSimulation, e.what()}.with_context(
         unit_label(unit.kernel().name(), unit.machine()) +
@@ -48,7 +96,9 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
   result.kernel = std::string(unit.kernel().name());
   result.machine = unit.machine();
   result.geometry = unit.geometry();
-  result.stats = pipe.stats();
+  result.mode = plan.mode;
+  result.stats = stats;
+  result.fastpath = fastpath;
   if (controller) result.zolc_stats = controller->zolc_stats();
   result.init_instructions = program.init_instructions;
   result.hw_loops = program.hw_loop_count;

@@ -20,6 +20,18 @@ struct RunPlan {
   cpu::PipelineConfig config;
   std::uint64_t max_cycles = 200'000'000;
   bool predecode = true;  ///< use the unit's predecoded instruction image
+  /// Execution mode: pipeline (default), ISS, or ISS with the loop-summary
+  /// fast path. ISS runs ignore `config` and report cycles == instructions
+  /// (the functional model is 1-CPI by construction); `max_cycles` bounds
+  /// the instruction count instead.
+  harness::ExecMode mode;
+  /// Wall-clock repetitions for the fresh-Workload overload: the simulation
+  /// runs this many times (each on its own Workload, so every run is
+  /// identical) and wall_ns reports the minimum. Architectural results and
+  /// statistics come from a single run -- they are rep-invariant. Use >1
+  /// when a cell is too short for one-shot timing (MIPS thresholds, bench
+  /// artifacts); ignored by the caller-prepared-Workload overload.
+  std::uint64_t timing_reps = 1;
 };
 
 /// Runs `unit` on a fresh Workload. Failure modes: kSimulation (trap or

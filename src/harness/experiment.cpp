@@ -7,6 +7,11 @@
 
 namespace zolcsim::harness {
 
+std::string_view mode_name(const ExecMode& mode) {
+  if (mode.engine == SimEngine::kPipeline) return "pipeline";
+  return mode.fast_path ? "iss-fast" : "iss";
+}
+
 Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
                                         codegen::MachineKind machine,
                                         const kernels::KernelEnv& env,
@@ -21,8 +26,11 @@ Result<ExperimentResult> run_experiment(const kernels::Kernel& kernel,
   spec.env = env;
   auto unit = flow::CompiledUnit::compile(kernel, spec);
   if (!unit.ok()) return std::move(unit).error();
-  return flow::run(unit.value(),
-                   flow::RunPlan{config, max_cycles, predecode});
+  flow::RunPlan plan;
+  plan.config = config;
+  plan.max_cycles = max_cycles;
+  plan.predecode = predecode;
+  return flow::run(unit.value(), plan);
 }
 
 double percent_reduction(std::uint64_t baseline, std::uint64_t cycles) {

@@ -10,17 +10,40 @@
 
 #include "codegen/lower.hpp"
 #include "cpu/pipeline.hpp"
+#include "cpu/summary.hpp"
 #include "kernels/kernels.hpp"
 #include "zolc/controller.hpp"
 
 namespace zolcsim::harness {
 
+/// Which simulator executes a cell.
+enum class SimEngine : std::uint8_t {
+  kPipeline,  ///< cycle-accurate 5-stage pipeline (the default)
+  kIss,       ///< functional ISS (1 instruction per cycle by construction)
+};
+
+/// Execution mode of a run: the engine, plus (for the ISS) whether the
+/// loop-summary fast path (DESIGN.md section 7) is enabled. The fast path
+/// is architecturally invisible, so "iss" and "iss-fast" cells must agree
+/// on every reported statistic -- the scenario runner cross-checks this.
+struct ExecMode {
+  SimEngine engine = SimEngine::kPipeline;
+  bool fast_path = false;  ///< ISS only; ignored for the pipeline
+
+  friend bool operator==(const ExecMode&, const ExecMode&) = default;
+};
+
+/// "pipeline" | "iss" | "iss-fast" -- the sweep emitters' mode column.
+[[nodiscard]] std::string_view mode_name(const ExecMode& mode);
+
 struct ExperimentResult {
   std::string kernel;
   codegen::MachineKind machine = codegen::MachineKind::kXrDefault;
   zolc::ZolcGeometry geometry;    ///< ZOLC geometry the cell ran against
-  cpu::PipelineStats stats;
+  ExecMode mode;                  ///< engine + fast-path the cell ran under
+  cpu::PipelineStats stats;       ///< ISS runs report cycles == instructions
   zolc::ZolcStats zolc_stats;     ///< zeros for non-ZOLC machines
+  cpu::FastPathStats fastpath;    ///< all-zero unless mode is iss-fast
   unsigned init_instructions = 0; ///< ZOLC init prologue length
   unsigned hw_loops = 0;
   unsigned sw_loops = 0;

@@ -76,46 +76,53 @@ std::string config_name(const cpu::PipelineConfig& config) {
 const ExperimentResult& SweepReport::at(std::size_t kernel,
                                         std::size_t machine,
                                         std::size_t config,
-                                        std::size_t geometry) const {
+                                        std::size_t geometry,
+                                        std::size_t mode) const {
   ZS_EXPECTS(kernel < kernels.size() && machine < machines.size() &&
-             config < configs.size() && geometry < geometries.size());
-  return cells[((kernel * machines.size() + machine) * configs.size() +
-                config) *
-                   geometries.size() +
-               geometry]
+             config < configs.size() && geometry < geometries.size() &&
+             mode < modes.size());
+  return cells[(((kernel * machines.size() + machine) * configs.size() +
+                 config) *
+                    geometries.size() +
+                geometry) *
+                   modes.size() +
+               mode]
       .result;
 }
 
 const ExperimentResult* SweepReport::find(std::string_view kernel,
                                           codegen::MachineKind machine,
                                           std::size_t config,
-                                          std::size_t geometry) const {
+                                          std::size_t geometry,
+                                          std::size_t mode) const {
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     if (kernels[k] != kernel) continue;
     for (std::size_t m = 0; m < machines.size(); ++m) {
       if (machines[m] != machine) continue;
-      if (config >= configs.size() || geometry >= geometries.size()) {
+      if (config >= configs.size() || geometry >= geometries.size() ||
+          mode >= modes.size()) {
         return nullptr;
       }
-      return &at(k, m, config, geometry);
+      return &at(k, m, config, geometry, mode);
     }
   }
   return nullptr;
 }
 
 std::uint64_t SweepReport::cycles(std::size_t kernel, std::size_t machine,
-                                  std::size_t config,
-                                  std::size_t geometry) const {
-  return at(kernel, machine, config, geometry).stats.cycles;
+                                  std::size_t config, std::size_t geometry,
+                                  std::size_t mode) const {
+  return at(kernel, machine, config, geometry, mode).stats.cycles;
 }
 
 double SweepReport::reduction(std::size_t kernel, std::size_t machine,
-                              std::size_t config,
-                              std::size_t geometry) const {
+                              std::size_t config, std::size_t geometry,
+                              std::size_t mode) const {
   for (std::size_t m = 0; m < machines.size(); ++m) {
     if (machines[m] == baseline) {
-      return percent_reduction(cycles(kernel, m, config, geometry),
-                               cycles(kernel, machine, config, geometry));
+      return percent_reduction(cycles(kernel, m, config, geometry, mode),
+                               cycles(kernel, machine, config, geometry,
+                                      mode));
     }
   }
   return 0.0;
@@ -126,13 +133,18 @@ bool SweepReport::has_geometry_axis() const {
          (geometries.size() == 1 && !(geometries[0] == zolc::ZolcGeometry{}));
 }
 
+bool SweepReport::has_mode_axis() const {
+  return modes.size() > 1 || (modes.size() == 1 && !(modes[0] == ExecMode{}));
+}
+
 SweepAggregate SweepReport::aggregate(std::size_t machine,
                                       std::size_t config,
-                                      std::size_t geometry) const {
+                                      std::size_t geometry,
+                                      std::size_t mode) const {
   SweepAggregate agg;
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    const ExperimentResult& r = at(k, machine, config, geometry);
-    const double red = reduction(k, machine, config, geometry);
+    const ExperimentResult& r = at(k, machine, config, geometry, mode);
+    const double red = reduction(k, machine, config, geometry, mode);
     agg.avg_reduction += red;
     agg.max_reduction = std::max(agg.max_reduction, red);
     agg.total_cycles += r.stats.cycles;
@@ -151,8 +163,10 @@ SweepAggregate SweepReport::aggregate(std::size_t machine,
 
 std::string SweepReport::to_csv() const {
   const bool with_geometry = has_geometry_axis();
+  const bool with_mode = has_mode_axis();
   std::vector<std::string> header = {"kernel", "machine", "config"};
   if (with_geometry) header.push_back("geometry");
+  if (with_mode) header.push_back("mode");
   for (const char* column :
        {"cycles", "instructions", "reduction_pct", "init_instructions",
         "hw_loops", "sw_loops", "code_words", "continue_events",
@@ -165,15 +179,17 @@ std::string SweepReport::to_csv() const {
     for (std::size_t m = 0; m < machines.size(); ++m) {
       for (std::size_t c = 0; c < configs.size(); ++c) {
         for (std::size_t g = 0; g < geometries.size(); ++g) {
-          const ExperimentResult& r = at(k, m, c, g);
+        for (std::size_t x = 0; x < modes.size(); ++x) {
+          const ExperimentResult& r = at(k, m, c, g, x);
           std::vector<std::string> row = {
               kernels[k], std::string(codegen::machine_name(machines[m])),
               config_name(configs[c])};
           if (with_geometry) row.push_back(geometries[g].label());
+          if (with_mode) row.emplace_back(mode_name(modes[x]));
           for (const std::string& value :
                {std::to_string(r.stats.cycles),
                 std::to_string(r.stats.instructions),
-                format_fixed(reduction(k, m, c, g), 4),
+                format_fixed(reduction(k, m, c, g, x), 4),
                 std::to_string(r.init_instructions),
                 std::to_string(r.hw_loops), std::to_string(r.sw_loops),
                 std::to_string(r.code_words),
@@ -187,6 +203,7 @@ std::string SweepReport::to_csv() const {
           }
           csv.add_row(std::move(row));
         }
+        }
       }
     }
   }
@@ -195,6 +212,7 @@ std::string SweepReport::to_csv() const {
 
 std::string SweepReport::to_json() const {
   const bool with_geometry = has_geometry_axis();
+  const bool with_mode = has_mode_axis();
   std::string out = "{\n  \"baseline\": \"";
   out += codegen::machine_name(baseline);
   out += "\",\n  \"cells\": [\n";
@@ -203,7 +221,8 @@ std::string SweepReport::to_json() const {
     for (std::size_t m = 0; m < machines.size(); ++m) {
       for (std::size_t c = 0; c < configs.size(); ++c) {
         for (std::size_t g = 0; g < geometries.size(); ++g) {
-          const ExperimentResult& r = at(k, m, c, g);
+        for (std::size_t x = 0; x < modes.size(); ++x) {
+          const ExperimentResult& r = at(k, m, c, g, x);
           if (!first) out += ",\n";
           first = false;
           out += "    {\"kernel\": \"" + json_escape(kernels[k]) +
@@ -214,11 +233,15 @@ std::string SweepReport::to_json() const {
           if (with_geometry) {
             out += "\"geometry\": \"" + geometries[g].label() + "\", ";
           }
+          if (with_mode) {
+            out += "\"mode\": \"" + std::string(mode_name(modes[x])) +
+                   "\", ";
+          }
           out += "\"cycles\": " + std::to_string(r.stats.cycles) +
                  ", \"instructions\": " +
                  std::to_string(r.stats.instructions) +
                  ", \"reduction_pct\": " +
-                 format_fixed(reduction(k, m, c, g), 4) +
+                 format_fixed(reduction(k, m, c, g, x), 4) +
                  ", \"init_instructions\": " +
                  std::to_string(r.init_instructions) +
                  ", \"hw_loops\": " + std::to_string(r.hw_loops) +
@@ -227,6 +250,7 @@ std::string SweepReport::to_json() const {
                  std::to_string(r.zolc_stats.continue_events) +
                  ", \"done_events\": " +
                  std::to_string(r.zolc_stats.done_events) + "}";
+        }
         }
       }
     }
@@ -272,6 +296,8 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
       spec.geometries.empty()
           ? std::vector<zolc::ZolcGeometry>{zolc::ZolcGeometry{}}
           : spec.geometries;
+  report.modes = spec.modes.empty() ? std::vector<ExecMode>{ExecMode{}}
+                                    : spec.modes;
   for (const zolc::ZolcGeometry& geometry : report.geometries) {
     if (!geometry.valid()) {
       return Error{ErrorCode::kBadConfig,
@@ -282,8 +308,9 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
   const std::size_t n_machines = report.machines.size();
   const std::size_t n_configs = report.configs.size();
   const std::size_t n_geoms = report.geometries.size();
+  const std::size_t n_modes = report.modes.size();
   const std::size_t n_cells =
-      report.kernels.size() * n_machines * n_configs * n_geoms;
+      report.kernels.size() * n_machines * n_configs * n_geoms * n_modes;
   std::vector<CellOutcome> outcomes(n_cells);
 
   // Each worker claims cell indices from a shared counter and writes only
@@ -302,10 +329,11 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
     for (std::size_t i = next.fetch_add(1);
          i < n_cells && !failed.load(std::memory_order_relaxed);
          i = next.fetch_add(1)) {
-      const std::size_t k = i / (n_machines * n_configs * n_geoms);
-      const std::size_t m = (i / (n_configs * n_geoms)) % n_machines;
-      const std::size_t c = (i / n_geoms) % n_configs;
-      const std::size_t g = i % n_geoms;
+      const std::size_t k = i / (n_machines * n_configs * n_geoms * n_modes);
+      const std::size_t m = (i / (n_configs * n_geoms * n_modes)) % n_machines;
+      const std::size_t c = (i / (n_geoms * n_modes)) % n_configs;
+      const std::size_t g = (i / n_modes) % n_geoms;
+      const std::size_t x = i % n_modes;
       CellOutcome& out = outcomes[i];
       // Machines that ignore the geometry (non-ZOLC, and uZOLC whose single
       // loop is fixed) would repeat the g == 0 simulation exactly at every
@@ -324,12 +352,15 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
         unit_spec.geometry = report.geometries[g];
         unit_spec.env = spec.env;
         auto unit = cache.get_or_compile(unit_spec);
+        flow::RunPlan plan;
+        plan.config = report.configs[c];
+        plan.max_cycles = spec.max_cycles;
+        plan.predecode = spec.predecode;
+        plan.mode = report.modes[x];
+        plan.timing_reps = spec.timing_reps;
         auto result =
-            unit.ok()
-                ? flow::run(*unit.value(),
-                            flow::RunPlan{report.configs[c], spec.max_cycles,
-                                          spec.predecode})
-                : Result<ExperimentResult>(std::move(unit).error());
+            unit.ok() ? flow::run(*unit.value(), plan)
+                      : Result<ExperimentResult>(std::move(unit).error());
         if (result.ok()) {
           out.state = CellOutcome::State::kOk;
           out.result = std::move(result).value();
@@ -376,17 +407,18 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {
-      const std::size_t g = i % n_geoms;
-      outcomes[i].result = outcomes[i - g].result;
+      const std::size_t g = (i / n_modes) % n_geoms;
+      outcomes[i].result = outcomes[i - g * n_modes].result;
       outcomes[i].result.geometry = report.geometries[g];
       outcomes[i].state = CellOutcome::State::kOk;
     }
     ZS_ASSERT(outcomes[i].state == CellOutcome::State::kOk);
     SweepCell cell;
-    cell.kernel = i / (n_machines * n_configs * n_geoms);
-    cell.machine = (i / (n_configs * n_geoms)) % n_machines;
-    cell.config = (i / n_geoms) % n_configs;
-    cell.geometry = i % n_geoms;
+    cell.kernel = i / (n_machines * n_configs * n_geoms * n_modes);
+    cell.machine = (i / (n_configs * n_geoms * n_modes)) % n_machines;
+    cell.config = (i / (n_geoms * n_modes)) % n_configs;
+    cell.geometry = (i / n_modes) % n_geoms;
+    cell.mode = i % n_modes;
     cell.result = std::move(outcomes[i].result);
     report.cells.push_back(std::move(cell));
   }

@@ -1,13 +1,14 @@
 // Batched sweep engine: declaratively describes a kernel x machine x
-// pipeline-config x ZOLC-geometry experiment grid and executes it on a
-// worker pool. Every benchmark binary is a thin SweepSpec over this engine
-// instead of a hand-rolled serial loop.
+// pipeline-config x ZOLC-geometry x execution-mode experiment grid and
+// executes it on a worker pool. Every benchmark binary is a thin SweepSpec
+// over this engine instead of a hand-rolled serial loop.
 //
 // Determinism: cells are indexed kernel-major (kernel, then machine, then
-// config, then geometry) and each worker writes only its claimed cell, so
-// the report -- and everything rendered from it -- is byte-identical for any
-// thread count. A sweep that leaves the geometry axis at the paper default
-// renders exactly as a pre-geometry-axis sweep did (no extra CSV column).
+// config, then geometry, then mode) and each worker writes only its claimed
+// cell, so the report -- and everything rendered from it -- is
+// byte-identical for any thread count. A sweep that leaves the geometry or
+// mode axis at its default renders exactly as a pre-axis sweep did (no
+// extra CSV column).
 #ifndef ZOLCSIM_HARNESS_SWEEP_HPP
 #define ZOLCSIM_HARNESS_SWEEP_HPP
 
@@ -32,11 +33,17 @@ struct SweepSpec {
   std::vector<cpu::PipelineConfig> configs;
   /// ZOLC geometry axis; empty = the paper-default geometry only.
   std::vector<zolc::ZolcGeometry> geometries;
+  /// Execution-mode axis (pipeline / iss / iss-fast); empty = pipeline only.
+  std::vector<ExecMode> modes;
   kernels::KernelEnv env;
   codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
   std::uint64_t max_cycles = 200'000'000;
   unsigned threads = 0;     ///< 0 = hardware concurrency
   bool predecode = true;    ///< use the predecoded instruction image
+  /// Timing repetitions per cell (RunPlan::timing_reps): wall_ns keeps the
+  /// minimum over this many identical runs. Use >1 for suites whose cells
+  /// are too short for stable one-shot MIPS.
+  std::uint64_t timing_reps = 1;
 };
 
 /// Machines carrying the given ZOLC variants (the variant axis of a sweep
@@ -44,13 +51,14 @@ struct SweepSpec {
 [[nodiscard]] std::vector<codegen::MachineKind> machines_for_variants(
     const std::vector<zolc::ZolcVariant>& variants);
 
-/// One point of the grid. `kernel/machine/config/geometry` index into the
-/// report's resolved dimension vectors.
+/// One point of the grid. `kernel/machine/config/geometry/mode` index into
+/// the report's resolved dimension vectors.
 struct SweepCell {
   std::size_t kernel = 0;
   std::size_t machine = 0;
   std::size_t config = 0;
   std::size_t geometry = 0;
+  std::size_t mode = 0;
   ExperimentResult result;
 };
 
@@ -67,13 +75,15 @@ struct SweepAggregate {
   std::uint64_t table_writes = 0;
 };
 
-/// Order-stable sweep output. Cell (k, m, c, g) lives at index
-/// ((k * machines.size() + m) * configs.size() + c) * geometries.size() + g.
+/// Order-stable sweep output. Cell (k, m, c, g, x) lives at index
+/// (((k * machines.size() + m) * configs.size() + c) * geometries.size() +
+/// g) * modes.size() + x.
 struct SweepReport {
   std::vector<std::string> kernels;             ///< resolved kernel names
   std::vector<codegen::MachineKind> machines;   ///< resolved machine set
   std::vector<cpu::PipelineConfig> configs;     ///< resolved config grid
   std::vector<zolc::ZolcGeometry> geometries;   ///< resolved geometry axis
+  std::vector<ExecMode> modes;                  ///< resolved mode axis
   codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
   std::vector<SweepCell> cells;
 
@@ -87,30 +97,39 @@ struct SweepReport {
   [[nodiscard]] const ExperimentResult& at(std::size_t kernel,
                                            std::size_t machine,
                                            std::size_t config = 0,
-                                           std::size_t geometry = 0) const;
+                                           std::size_t geometry = 0,
+                                           std::size_t mode = 0) const;
   /// Lookup by names; nullptr when the cell is not in the grid.
   [[nodiscard]] const ExperimentResult* find(std::string_view kernel,
                                              codegen::MachineKind machine,
                                              std::size_t config = 0,
-                                             std::size_t geometry = 0) const;
+                                             std::size_t geometry = 0,
+                                             std::size_t mode = 0) const;
 
   [[nodiscard]] std::uint64_t cycles(std::size_t kernel, std::size_t machine,
                                      std::size_t config = 0,
-                                     std::size_t geometry = 0) const;
-  /// %-reduction of (kernel, machine, config, geometry) vs the baseline
-  /// machine at the same config and geometry. 0 when the baseline machine is
-  /// not part of the sweep.
+                                     std::size_t geometry = 0,
+                                     std::size_t mode = 0) const;
+  /// %-reduction of (kernel, machine, config, geometry, mode) vs the
+  /// baseline machine at the same config, geometry, and mode. 0 when the
+  /// baseline machine is not part of the sweep.
   [[nodiscard]] double reduction(std::size_t kernel, std::size_t machine,
                                  std::size_t config = 0,
-                                 std::size_t geometry = 0) const;
+                                 std::size_t geometry = 0,
+                                 std::size_t mode = 0) const;
   [[nodiscard]] SweepAggregate aggregate(std::size_t machine,
                                          std::size_t config = 0,
-                                         std::size_t geometry = 0) const;
+                                         std::size_t geometry = 0,
+                                         std::size_t mode = 0) const;
 
   /// True iff the sweep explored a non-default geometry axis; the CSV/JSON
   /// emitters add the geometry column only in that case, so paper-default
   /// sweeps keep their historical schema.
   [[nodiscard]] bool has_geometry_axis() const;
+
+  /// True iff the sweep explored a non-default execution-mode axis; like
+  /// the geometry column, the mode column appears only in that case.
+  [[nodiscard]] bool has_mode_axis() const;
 
   /// Full grid as CSV (one row per cell) / JSON (meta + cell array).
   [[nodiscard]] std::string to_csv() const;

@@ -31,6 +31,22 @@ std::uint8_t* Memory::page_for_write(std::uint32_t addr) {
   return page.get();
 }
 
+bool operator==(const Memory& a, const Memory& b) {
+  const auto covered_by = [](const Memory& lhs, const Memory& rhs) {
+    static const std::uint8_t kZeroPage[Memory::kPageSize] = {};
+    for (const auto& [page_no, page] : lhs.pages_) {
+      const auto it = rhs.pages_.find(page_no);
+      const std::uint8_t* other =
+          it == rhs.pages_.end() ? kZeroPage : it->second.get();
+      if (std::memcmp(page.get(), other, Memory::kPageSize) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return covered_by(a, b) && covered_by(b, a);
+}
+
 std::uint8_t Memory::read8(std::uint32_t addr) const {
   ++stats_.reads;
   ++stats_.bytes_read;

@@ -68,6 +68,39 @@ class Memory {
     return pages_.size();
   }
 
+  /// Content equality over the union of both memories' resident pages; a
+  /// page resident on one side only must be all-zero (absent memory reads
+  /// as zero, so residency itself is not architectural state). Statistics
+  /// are not compared. Used by co-simulation tests to compare full images.
+  friend bool operator==(const Memory& a, const Memory& b);
+
+  // Raw page access for the ISS summary tier (cpu::LoopSummarizer), which
+  // caches the returned pointers across a replay. Pages are never moved or
+  // freed once allocated, so the pointers stay valid for the Memory's
+  // lifetime. These do no statistics accounting: callers batch the counts
+  // through count_accesses() so MemoryStats stay exact.
+
+  /// The resident page containing `addr`, or nullptr when the page was
+  /// never written (such memory reads as zero).
+  [[nodiscard]] const std::uint8_t* peek_page(std::uint32_t addr) const {
+    return page_for_read(addr);
+  }
+
+  /// The writable page containing `addr`, allocated on first touch.
+  [[nodiscard]] std::uint8_t* touch_page(std::uint32_t addr) {
+    return page_for_write(addr);
+  }
+
+  /// Batch statistics accounting for accesses performed through raw pages.
+  void count_accesses(std::uint64_t reads, std::uint64_t bytes_read,
+                      std::uint64_t writes,
+                      std::uint64_t bytes_written) const noexcept {
+    stats_.reads += reads;
+    stats_.bytes_read += bytes_read;
+    stats_.writes += writes;
+    stats_.bytes_written += bytes_written;
+  }
+
  private:
   using Page = std::unique_ptr<std::uint8_t[]>;
 

@@ -119,4 +119,16 @@ Result<cpu::PipelineConfig> parse_config(std::string_view s) {
   return config;
 }
 
+Result<harness::ExecMode> parse_mode(std::string_view s) {
+  const std::string lower = to_lower(s);
+  harness::ExecMode mode;
+  if (lower == "pipeline") return mode;
+  mode.engine = harness::SimEngine::kIss;
+  if (lower == "iss") return mode;
+  mode.fast_path = true;
+  if (lower == "iss-fast") return mode;
+  return bad_config("unknown execution mode '" + std::string(s) +
+                    "' (known: pipeline, iss, iss-fast)");
+}
+
 }  // namespace zolcsim::scenario

@@ -11,6 +11,7 @@
 #include "codegen/program.hpp"
 #include "common/result.hpp"
 #include "cpu/pipeline.hpp"
+#include "harness/experiment.hpp"
 #include "zolc/config.hpp"
 
 namespace zolcsim::scenario {
@@ -26,6 +27,9 @@ namespace zolcsim::scenario {
 /// "EX-resolve|ID-resolve" "/rollback|/gate" ["/nofwd"] -- the
 /// harness::config_name() form.
 [[nodiscard]] Result<cpu::PipelineConfig> parse_config(std::string_view s);
+
+/// "pipeline" | "iss" | "iss-fast" -- the harness::mode_name() form.
+[[nodiscard]] Result<harness::ExecMode> parse_mode(std::string_view s);
 
 }  // namespace zolcsim::scenario
 

@@ -39,6 +39,55 @@ std::optional<std::size_t> geometry_index(const harness::SweepReport& report,
   return std::nullopt;
 }
 
+std::optional<std::size_t> mode_index(const harness::SweepReport& report,
+                                      const std::string& name) {
+  if (name.empty()) return 0;
+  for (std::size_t x = 0; x < report.modes.size(); ++x) {
+    if (harness::mode_name(report.modes[x]) == name) return x;
+  }
+  return std::nullopt;
+}
+
+/// The loop-summary fast path must be architecturally invisible: wherever
+/// the sweep ran both "iss" and "iss-fast", the two cells must agree on
+/// every deterministic statistic. A difference is always a simulator bug.
+Result<void> check_mode_equivalence(const Suite& suite,
+                                    const harness::SweepReport& report) {
+  std::optional<std::size_t> iss;
+  std::optional<std::size_t> fast;
+  for (std::size_t x = 0; x < report.modes.size(); ++x) {
+    if (report.modes[x].engine != harness::SimEngine::kIss) continue;
+    (report.modes[x].fast_path ? fast : iss) = x;
+  }
+  if (!iss || !fast) return {};
+  for (std::size_t k = 0; k < report.kernels.size(); ++k) {
+    for (std::size_t m = 0; m < report.machines.size(); ++m) {
+      for (std::size_t c = 0; c < report.configs.size(); ++c) {
+        for (std::size_t g = 0; g < report.geometries.size(); ++g) {
+          const harness::ExperimentResult& a = report.at(k, m, c, g, *iss);
+          const harness::ExperimentResult& b = report.at(k, m, c, g, *fast);
+          const bool equal =
+              a.stats.cycles == b.stats.cycles &&
+              a.stats.instructions == b.stats.instructions &&
+              a.stats.taken_control == b.stats.taken_control &&
+              a.stats.zolc_fetch_events == b.stats.zolc_fetch_events &&
+              a.zolc_stats == b.zolc_stats;
+          if (!equal) {
+            return Error{ErrorCode::kVerifyMismatch,
+                         report.kernels[k] + " on " +
+                             std::string(codegen::machine_name(
+                                 report.machines[m])) +
+                             ": iss and iss-fast cells disagree (fast path "
+                             "is not architecturally invisible)"}
+                .with_context("suite " + suite.name);
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
 Result<void> check_thresholds(const Suite& suite,
                               const harness::SweepReport& report) {
   for (const Threshold& t : suite.thresholds) {
@@ -46,8 +95,10 @@ Result<void> check_thresholds(const Suite& suite,
     ZS_ASSERT(machine.ok());  // validated by parse_suite
     const auto c = config_index(report, t.config);
     const auto g = geometry_index(report, t.geometry);
+    const auto x = mode_index(report, t.mode);
     const harness::ExperimentResult* cell =
-        c && g ? report.find(t.kernel, machine.value(), *c, *g) : nullptr;
+        c && g && x ? report.find(t.kernel, machine.value(), *c, *g, *x)
+                    : nullptr;
     if (cell == nullptr) {
       return Error{ErrorCode::kBadConfig,
                    "threshold names a cell outside the grid: " + t.kernel +
@@ -109,6 +160,11 @@ Result<SuiteOutcome> run_suite(const Suite& suite, flow::CompileCache& cache,
     } else {
       outcome.golden_checked = true;
     }
+  }
+
+  if (auto equal = check_mode_equivalence(suite, outcome.report);
+      !equal.ok()) {
+    return std::move(equal).error();
   }
 
   if (options.enforce_thresholds) {
@@ -175,15 +231,39 @@ std::string bench_artifact_json(const SuiteOutcome& outcome) {
     out += "\", \"config\": \"" +
            json::escape(harness::config_name(report.configs[cell.config])) +
            "\", \"geometry\": \"" +
-           report.geometries[cell.geometry].label() + "\", \"cycles\": " +
-           std::to_string(r.stats.cycles) + ", \"instructions\": " +
-           std::to_string(r.stats.instructions) + ", \"reduction_pct\": " +
+           report.geometries[cell.geometry].label() + "\", \"mode\": \"" +
+           std::string(harness::mode_name(report.modes[cell.mode])) +
+           "\", \"cycles\": " + std::to_string(r.stats.cycles) +
+           ", \"instructions\": " + std::to_string(r.stats.instructions) +
+           ", \"reduction_pct\": " +
            format_fixed(
                report.reduction(cell.kernel, cell.machine, cell.config,
-                                cell.geometry),
+                                cell.geometry, cell.mode),
                4) +
            ", \"wall_ns\": " + std::to_string(r.wall_ns) +
-           ", \"mips\": " + format_fixed(cell_mips(r), 2) + "}";
+           ", \"mips\": " + format_fixed(cell_mips(r), 2);
+    if (report.modes[cell.mode].fast_path) {
+      // Fast-path effectiveness counters: host-side diagnostics, BENCH-only
+      // (never part of the deterministic CSV/JSON sweep reports).
+      out += ", \"fastpath\": {\"attempts\": " +
+             std::to_string(r.fastpath.attempts) +
+             ", \"engagements\": " + std::to_string(r.fastpath.engagements) +
+             ", \"replayed_instructions\": " +
+             std::to_string(r.fastpath.replayed_instructions) +
+             ", \"replayed_backedges\": " +
+             std::to_string(r.fastpath.replayed_backedges) + ", \"bailouts\": {";
+      bool first_bail = true;
+      for (std::size_t b = 0; b < cpu::kNumBailoutReasons; ++b) {
+        if (r.fastpath.bailouts[b] == 0) continue;
+        if (!first_bail) out += ", ";
+        first_bail = false;
+        out += std::string("\"") +
+               cpu::bailout_reason_name(static_cast<cpu::BailoutReason>(b)) +
+               "\": " + std::to_string(r.fastpath.bailouts[b]);
+      }
+      out += "}}";
+    }
+    out += "}";
   }
   out += "\n  ]\n}\n";
   return out;

@@ -16,8 +16,10 @@
 
 namespace zolcsim::scenario {
 
-/// Current BENCH artifact schema ("schema" field).
-inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v1";
+/// Current BENCH artifact schema ("schema" field). v2 added the per-point
+/// "mode" field and the conditional "fastpath" counter object; `zolcsim
+/// bench --compare` still accepts v1 artifacts (mode defaults "pipeline").
+inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v2";
 
 struct RunOptions {
   unsigned threads = 0;            ///< sweep worker count; 0 = hardware

@@ -71,8 +71,8 @@ Result<std::uint64_t> uint_member(const json::Value& object,
 Result<void> parse_sweep(const json::Value& sweep, Suite& suite,
                          std::string_view origin) {
   static constexpr std::string_view kKnown[] = {
-      "kernels", "machines", "configs", "geometries",
-      "baseline", "max_cycles", "env"};
+      "kernels", "machines",   "configs", "geometries", "modes",
+      "baseline", "max_cycles", "env",     "timing_reps"};
   for (const auto& [key, value] : sweep.members()) {
     (void)value;
     bool known = false;
@@ -126,6 +126,17 @@ Result<void> parse_sweep(const json::Value& sweep, Suite& suite,
     suite.sweep.geometries.push_back(geometry.value());
   }
 
+  auto modes = string_list(sweep, "modes", origin);
+  if (!modes.ok()) return std::move(modes).error();
+  for (const std::string& name : modes.value()) {
+    auto mode = parse_mode(name);
+    if (!mode.ok()) {
+      return std::move(mode).error().with_context("suite " +
+                                                  std::string(origin));
+    }
+    suite.sweep.modes.push_back(mode.value());
+  }
+
   if (const json::Value* baseline = sweep.find("baseline")) {
     if (!baseline->is_string()) {
       return shape_error(origin, "'baseline' must be a machine name string");
@@ -145,6 +156,14 @@ Result<void> parse_sweep(const json::Value& sweep, Suite& suite,
     return config_error(origin, "'max_cycles' must be positive");
   }
   suite.sweep.max_cycles = max_cycles.value();
+
+  auto timing_reps =
+      uint_member(sweep, "timing_reps", suite.sweep.timing_reps, origin);
+  if (!timing_reps.ok()) return std::move(timing_reps).error();
+  if (timing_reps.value() == 0 || timing_reps.value() > 1000) {
+    return config_error(origin, "'timing_reps' must be in [1, 1000]");
+  }
+  suite.sweep.timing_reps = timing_reps.value();
 
   if (const json::Value* env = sweep.find("env")) {
     if (!env->is_object()) {
@@ -202,7 +221,8 @@ Result<void> parse_expect(const json::Value& expect, Suite& suite,
       return shape_error(origin, "each threshold must be an object");
     }
     static constexpr std::string_view kKnown[] = {
-        "kernel", "machine", "config", "geometry", "max_cycles", "min_mips"};
+        "kernel",   "machine",    "config",  "geometry",
+        "mode",     "max_cycles", "min_mips"};
     for (const auto& [key, value] : entry.members()) {
       (void)value;
       bool known = false;
@@ -236,6 +256,16 @@ Result<void> parse_expect(const json::Value& expect, Suite& suite,
         return shape_error(origin, "threshold 'geometry' must be a string");
       }
       t.geometry = geometry->as_string();
+    }
+    if (const json::Value* mode = entry.find("mode")) {
+      if (!mode->is_string()) {
+        return shape_error(origin, "threshold 'mode' must be a string");
+      }
+      if (auto parsed = parse_mode(mode->as_string()); !parsed.ok()) {
+        return std::move(parsed).error().with_context(
+            "suite " + std::string(origin));
+      }
+      t.mode = mode->as_string();
     }
     auto max_cycles = uint_member(entry, "max_cycles", 0, origin);
     if (!max_cycles.ok()) return std::move(max_cycles).error();

@@ -1,6 +1,7 @@
 // Declarative scenario suites: the JSON format that replaced the hand-coded
 // benchmark mains. A suite file names a sweep grid (kernels x machines x
-// pipeline configs x ZOLC geometries, plus the kernel env), an optional
+// pipeline configs x ZOLC geometries x execution modes, plus the kernel
+// env), an optional
 // golden digest of the rendered CSV, and optional per-cell performance
 // thresholds. The parser returns a Result<Suite>; the runner (runner.hpp)
 // lowers a Suite onto harness::SweepSpec / run_sweep and emits the
@@ -33,6 +34,7 @@ struct Threshold {
   std::string machine;
   std::string config;            ///< config_name() form; "" = first config
   std::string geometry;          ///< ZolcGeometry::label(); "" = first point
+  std::string mode;              ///< mode_name() form; "" = first mode
   std::uint64_t max_cycles = 0;  ///< fail when cell cycles exceed this
   double min_mips = 0.0;         ///< fail when simulated MIPS falls below
 };

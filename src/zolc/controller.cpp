@@ -72,6 +72,7 @@ void ZolcController::reset() {
   active_ = false;
   stats_ = {};
   trigger_pc_ = kNoTrigger;
+  nest_dirty_ = true;
 }
 
 void ZolcController::refresh_trigger() noexcept {
@@ -89,6 +90,7 @@ void ZolcController::init_write(Opcode op, std::uint8_t idx,
     throw SimError("ZOLC table write while the controller is active");
   }
   ++stats_.table_writes;
+  nest_dirty_ = true;
   switch (op) {
     case Opcode::kZolwTe: {
       if (variant_ == ZolcVariant::kMicro || idx >= tasks_.size()) {
@@ -197,6 +199,7 @@ void ZolcController::activate(std::uint8_t start_task, std::uint32_t base) {
                    " is not word-aligned");
   }
   base_ = base;
+  nest_dirty_ = true;  // the export resolves table offsets against base_
   current_task_ = start_task;
   for (LoopEntry& loop : loops_) {
     if (loop.valid) loop.current = loop.initial;
@@ -364,6 +367,186 @@ cpu::AccelSnapshot ZolcController::snapshot() const {
   s.current_task = current_task_;
   s.active = active_;
   return s;
+}
+
+namespace {
+
+/// Back-edges a loop in state `cur` will still take: the largest n >= 0 with
+/// cond_holds(cur + k*step, final) for every k in [1, n]. All conditions are
+/// monotone along the step direction, so the count is closed-form. Returns
+/// -1 when the recurrence does not terminate (step against the condition
+/// direction, or zero) -- the caller then declines to summarize.
+std::int64_t remaining_backedges(std::int64_t cur, std::int64_t step,
+                                 std::int64_t fin, LoopCond cond) {
+  switch (cond) {
+    case LoopCond::kLt:
+      if (step <= 0) return -1;
+      return cur >= fin ? 0 : (fin - cur - 1) / step;
+    case LoopCond::kLe:
+      if (step <= 0) return -1;
+      return cur > fin ? 0 : (fin - cur) / step;
+    case LoopCond::kGt:
+      if (step >= 0) return -1;
+      return cur <= fin ? 0 : (cur - fin - 1) / -step;
+    case LoopCond::kGe:
+      if (step >= 0) return -1;
+      return cur < fin ? 0 : (cur - fin) / -step;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> ZolcController::trigger_pc() const {
+  if (!active_) return std::nullopt;
+  if (variant_ == ZolcVariant::kMicro) return micro_.end_pc;
+  if (trigger_pc_ == kNoTrigger) return std::nullopt;
+  return trigger_pc_;
+}
+
+std::optional<cpu::LoopSummaryInfo> ZolcController::innermost_summary() const {
+  if (!active_) return std::nullopt;
+  cpu::LoopSummaryInfo info;
+  if (variant_ == ZolcVariant::kMicro) {
+    const std::int64_t remaining = remaining_backedges(
+        micro_.current, micro_.step, micro_.final, micro_.cond);
+    if (remaining < 0 || micro_.start_pc > micro_.end_pc) return std::nullopt;
+    info.body_start = micro_.start_pc;
+    info.body_end = micro_.end_pc;
+    info.index_rf = micro_.index_rf;
+    info.step = micro_.step;
+    info.current = micro_.current;
+    info.remaining = static_cast<std::uint64_t>(remaining);
+    return info;
+  }
+  // Summaries describe only a self-looping task: the continue successor
+  // re-enters the same task, so the whole body repeats under one back-edge
+  // comparator with no task switching in between.
+  const TaskEntry& t = tasks_[current_task_];
+  if (!t.valid || t.next_task_cont != current_task_) return std::nullopt;
+  const LoopEntry& loop = loops_[t.loop_id];
+  if (!loop.valid) return std::nullopt;
+  if (task_start_[current_task_] > t.end_pc_ofs) return std::nullopt;
+  const std::int64_t remaining =
+      remaining_backedges(loop.current, loop.step, loop.final, loop.cond);
+  if (remaining < 0) return std::nullopt;
+  info.body_start = ofs_to_pc(task_start_[current_task_]);
+  info.body_end = ofs_to_pc(t.end_pc_ofs);
+  info.index_rf = loop.index_rf;
+  info.step = loop.step;
+  info.current = loop.current;
+  info.remaining = static_cast<std::uint64_t>(remaining);
+  if (variant_ == ZolcVariant::kFull) {
+    const unsigned bank = t.loop_id * geom_.max_exits_per_loop;
+    for (unsigned slot = 0; slot < geom_.max_exits_per_loop; ++slot) {
+      if (exits_[bank + slot].valid) {
+        info.has_exit_records = true;
+        break;
+      }
+    }
+  }
+  return info;
+}
+
+void ZolcController::advance_innermost(std::uint64_t iterations) {
+  ZS_EXPECTS(active_);
+  if (variant_ == ZolcVariant::kMicro) {
+    micro_.current = static_cast<std::int32_t>(
+        micro_.current +
+        static_cast<std::int64_t>(micro_.step) *
+            static_cast<std::int64_t>(iterations));
+  } else {
+    const TaskEntry& t = tasks_[current_task_];
+    ZS_EXPECTS(t.valid && t.next_task_cont == current_task_);
+    LoopEntry& loop = loops_[t.loop_id];
+    loop.current = static_cast<std::int32_t>(
+        loop.current + static_cast<std::int64_t>(loop.step) *
+                           static_cast<std::int64_t>(iterations));
+  }
+  stats_.continue_events += iterations;
+}
+
+const cpu::NestProgram* ZolcController::nest_program() const {
+  if (variant_ == ZolcVariant::kMicro || !active_) return nullptr;
+  if (!nest_dirty_) return &nest_prog_;
+  nest_prog_.loops.assign(loops_.size(), cpu::NestLoopDesc{});
+  nest_prog_.tasks.assign(tasks_.size(), cpu::NestTaskDesc{});
+  static_assert(static_cast<int>(LoopCond::kLt) ==
+                        static_cast<int>(cpu::NestCond::kLt) &&
+                    static_cast<int>(LoopCond::kGe) ==
+                        static_cast<int>(cpu::NestCond::kGe),
+                "NestCond must mirror LoopCond");
+  for (unsigned i = 0; i < loops_.size(); ++i) {
+    const LoopEntry& l = loops_[i];
+    cpu::NestLoopDesc& d = nest_prog_.loops[i];
+    d.valid = l.valid;
+    if (!l.valid) continue;
+    d.index_rf = l.index_rf;
+    d.cond = static_cast<cpu::NestCond>(l.cond);
+    d.step = l.step;
+    d.initial = l.initial;
+    d.final = l.final;
+    const std::int64_t edges =
+        remaining_backedges(l.initial, l.step, l.final, l.cond);
+    d.trips = edges < 0 ? 0 : static_cast<std::uint64_t>(edges) + 1;
+    if (variant_ == ZolcVariant::kFull) {
+      const unsigned bank = i * geom_.max_exits_per_loop;
+      for (unsigned slot = 0; slot < geom_.max_exits_per_loop; ++slot) {
+        if (exits_[bank + slot].valid) {
+          d.has_exit_records = true;
+          break;
+        }
+      }
+    }
+  }
+  for (unsigned i = 0; i < tasks_.size(); ++i) {
+    const TaskEntry& t = tasks_[i];
+    cpu::NestTaskDesc& d = nest_prog_.tasks[i];
+    // start_pc resolves for every entry: on_fetch redirects through
+    // task_start_ without a validity check, and the export must mirror that.
+    d.start_pc = ofs_to_pc(task_start_[i]);
+    d.valid = t.valid;
+    if (!t.valid) continue;
+    d.end_pc = ofs_to_pc(t.end_pc_ofs);
+    d.loop = t.loop_id;
+    d.cont = t.next_task_cont;
+    d.done = t.next_task_done;
+    d.is_last = t.is_last;
+  }
+  // walk_safe: the worst-case done-cascade from each task (successors
+  // sharing its end PC) references only valid loops and stays within the
+  // hardware depth limit, so an inline event walk can never hit a condition
+  // on_fetch would report as a SimError.
+  for (cpu::NestTaskDesc& d : nest_prog_.tasks) {
+    if (!d.valid) continue;
+    bool safe = true;
+    unsigned cur = static_cast<unsigned>(&d - nest_prog_.tasks.data());
+    unsigned depth = 0;
+    while (true) {
+      const cpu::NestTaskDesc& t = nest_prog_.tasks[cur];
+      if (!t.valid || t.end_pc != d.end_pc) break;  // cascade stops cleanly
+      if (++depth > geom_.max_loops || !nest_prog_.loops[t.loop].valid) {
+        safe = false;
+        break;
+      }
+      if (t.is_last) break;  // done here deactivates
+      cur = t.done;
+    }
+    d.walk_safe = safe;
+  }
+  nest_dirty_ = false;
+  return &nest_prog_;
+}
+
+void ZolcController::credit_summary_events(std::uint64_t continues,
+                                           std::uint64_t dones,
+                                           std::uint64_t cascades,
+                                           std::uint64_t max_cascade_depth) {
+  stats_.continue_events += continues;
+  stats_.done_events += dones;
+  stats_.cascade_chains += cascades;
+  stats_.max_cascade_depth =
+      std::max(stats_.max_cascade_depth, max_cascade_depth);
 }
 
 void ZolcController::restore(const cpu::AccelSnapshot& snapshot) {

@@ -39,6 +39,8 @@ struct ZolcStats {
   std::uint64_t exit_matches = 0;     ///< candidate-exit record hits
   std::uint64_t entry_matches = 0;    ///< entry record hits
   std::uint64_t table_writes = 0;     ///< init-mode writes accepted
+
+  friend bool operator==(const ZolcStats&, const ZolcStats&) = default;
 };
 
 class ZolcController final : public cpu::LoopAccelerator {
@@ -81,6 +83,14 @@ class ZolcController final : public cpu::LoopAccelerator {
                                                   std::uint32_t target) override;
   [[nodiscard]] cpu::AccelSnapshot snapshot() const override;
   void restore(const cpu::AccelSnapshot& snapshot) override;
+  [[nodiscard]] std::optional<std::uint32_t> trigger_pc() const override;
+  [[nodiscard]] std::optional<cpu::LoopSummaryInfo> innermost_summary()
+      const override;
+  void advance_innermost(std::uint64_t iterations) override;
+  [[nodiscard]] const cpu::NestProgram* nest_program() const override;
+  void credit_summary_events(std::uint64_t continues, std::uint64_t dones,
+                             std::uint64_t cascades,
+                             std::uint64_t max_cascade_depth) override;
 
  private:
   /// Maps a byte PC to a word offset (pc_ofs_bits wide) from the activation
@@ -127,6 +137,12 @@ class ZolcController final : public cpu::LoopAccelerator {
 
   std::uint8_t current_task_ = 0;
   bool active_ = false;
+
+  /// Lazily built nest_program() export: a pure function of the tables and
+  /// the activation base, so it is invalidated by init writes, activation,
+  /// and reset, never by active-mode events.
+  mutable cpu::NestProgram nest_prog_;
+  mutable bool nest_dirty_ = true;
 
   ZolcStats stats_;
 };

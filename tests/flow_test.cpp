@@ -152,7 +152,9 @@ TEST(FlowRun, OneUnitRunsManyConfigsMatchingTheCompatWrapper) {
       {cpu::BranchResolveStage::kExecute, cpu::SpeculationPolicy::kRollback,
        false}};
   for (const cpu::PipelineConfig& config : configs) {
-    const auto staged = run(unit.value(), RunPlan{config});
+    RunPlan plan;
+    plan.config = config;
+    const auto staged = run(unit.value(), plan);
     ASSERT_TRUE(staged.ok()) << staged.error().to_string();
     const auto compat =
         harness::run_experiment(*kernel, MachineKind::kZolcLite, {}, config);

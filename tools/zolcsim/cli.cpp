@@ -20,6 +20,10 @@ Result<cpu::PipelineConfig> parse_config(std::string_view s) {
   return scenario::parse_config(s);
 }
 
+Result<harness::ExecMode> parse_mode(std::string_view s) {
+  return scenario::parse_mode(s);
+}
+
 Args Args::parse(int argc, char** argv, int skip) {
   Args args;
   for (int i = skip; i < argc; ++i) {

@@ -31,6 +31,10 @@ namespace zolcsim::cli {
 /// harness::config_name() form. Error: kBadConfig.
 [[nodiscard]] Result<cpu::PipelineConfig> parse_config(std::string_view s);
 
+/// "pipeline" | "iss" | "iss-fast" -- the harness::mode_name() form.
+/// Error: kBadConfig.
+[[nodiscard]] Result<harness::ExecMode> parse_mode(std::string_view s);
+
 /// Flag helpers over argv (skipping argv[0] and the subcommand).
 struct Args {
   std::vector<std::string> positional;

@@ -15,11 +15,13 @@
 #include <fstream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
 
 #include "cli.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "flow/cache.hpp"
@@ -48,13 +50,16 @@ commands:
   run <kernel>              compile + execute + verify one experiment
       --machine=NAME --geometry=LABEL
       --config=NAME         pipeline config, e.g. EX-resolve/rollback[/nofwd]
+      --engine=NAME         pipeline (cycle-accurate, default) or iss
+      --fast-path           ISS loop-summary fast path (implies --engine=iss)
       --max-cycles=N        cycle budget          (default 200000000)
       --no-predecode        fetch/decode from memory every cycle
-  sweep                     kernel x machine x config x geometry grid
+  sweep                     kernel x machine x config x geometry x mode grid
       --kernels=a,b,...     default: the 12-kernel paper suite
       --machines=a,b,...    default: all five machines
       --configs=a,b,...     default: EX-resolve/rollback
       --geometries=a,b,...  default: the paper prototype geometry
+      --modes=a,b,...       pipeline|iss|iss-fast (default pipeline)
       --baseline=NAME       reduction baseline    (default XRdefault)
       --max-cycles=N --threads=N
       --format=csv|json     default csv
@@ -65,7 +70,9 @@ commands:
       --suite-dir=DIR       directory of *.json suite files
       --out-dir=DIR         artifact directory    (default .)
       --threads=N
-exit codes: 0 ok, 1 toolchain error, 2 usage error
+  bench --compare OLD NEW   diff two BENCH artifact directories per point
+      --tolerance=PCT       allowed MIPS regression (default 10)
+exit codes: 0 ok, 1 toolchain error / comparison failure, 2 usage error
 )";
 
 /// One compile cache for the whole process: consecutive suites (and a
@@ -259,8 +266,8 @@ int cmd_compile(const cli::Args& args) {
 
 int cmd_run(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
-          args, {"machine", "geometry", "config", "max-cycles"},
-          {"no-predecode"})) {
+          args, {"machine", "geometry", "config", "engine", "max-cycles"},
+          {"no-predecode", "fast-path"})) {
     return rc;
   }
   UnitRequest request;
@@ -272,6 +279,24 @@ int cmd_run(const cli::Args& args) {
     auto parsed = cli::parse_config(*config);
     if (!parsed.ok()) return bad_flag_value(parsed.error());
     plan.config = parsed.value();
+  }
+  if (const auto engine = nonempty_value(args, "engine", rc)) {
+    if (*engine == "pipeline") {
+      plan.mode.engine = harness::SimEngine::kPipeline;
+    } else if (*engine == "iss") {
+      plan.mode.engine = harness::SimEngine::kIss;
+    } else {
+      return usage_error("bad --engine value '" + *engine +
+                         "' (pipeline or iss)");
+    }
+  }
+  if (args.has("fast-path")) {
+    if (plan.mode.engine == harness::SimEngine::kPipeline &&
+        args.value_of("engine")) {
+      return usage_error("--fast-path requires --engine=iss");
+    }
+    plan.mode.engine = harness::SimEngine::kIss;
+    plan.mode.fast_path = true;
   }
   if (const auto cycles = positive_int_flag(args, "max-cycles", rc)) {
     plan.max_cycles = *cycles;
@@ -287,16 +312,26 @@ int cmd_run(const cli::Args& args) {
   const harness::ExperimentResult& r = result.value();
   print_unit_summary(unit.value());
   std::printf(
-      "run: config %s\n  cycles            %llu\n"
+      "run: config %s mode %s\n  cycles            %llu\n"
       "  instructions      %llu\n  continue events   %llu\n"
       "  done events       %llu\n  table writes      %llu\n"
       "  verification      ok\n",
       harness::config_name(plan.config).c_str(),
+      std::string(harness::mode_name(plan.mode)).c_str(),
       static_cast<unsigned long long>(r.stats.cycles),
       static_cast<unsigned long long>(r.stats.instructions),
       static_cast<unsigned long long>(r.zolc_stats.continue_events),
       static_cast<unsigned long long>(r.zolc_stats.done_events),
       static_cast<unsigned long long>(r.zolc_stats.table_writes));
+  if (plan.mode.fast_path) {
+    std::printf(
+        "  fast path         %llu/%llu engagements, %llu replayed instrs, "
+        "%llu bailouts\n",
+        static_cast<unsigned long long>(r.fastpath.engagements),
+        static_cast<unsigned long long>(r.fastpath.attempts),
+        static_cast<unsigned long long>(r.fastpath.replayed_instructions),
+        static_cast<unsigned long long>(r.fastpath.total_bailouts()));
+  }
   return 0;
 }
 
@@ -330,8 +365,8 @@ int emit_sweep_report(const harness::SweepReport& report,
 int cmd_sweep(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
           args,
-          {"kernels", "machines", "configs", "geometries", "baseline",
-           "max-cycles", "threads", "format", "out", "from-file"},
+          {"kernels", "machines", "configs", "geometries", "modes",
+           "baseline", "max-cycles", "threads", "format", "out", "from-file"},
           {})) {
     return rc;
   }
@@ -342,8 +377,8 @@ int cmd_sweep(const cli::Args& args) {
   if (const auto suite_path = nonempty_value(args, "from-file", rc)) {
     // Suite mode: the file is the grid; only execution/output flags apply.
     for (const std::string_view grid_flag :
-         {"kernels", "machines", "configs", "geometries", "baseline",
-          "max-cycles"}) {
+         {"kernels", "machines", "configs", "geometries", "modes",
+          "baseline", "max-cycles"}) {
       if (args.value_of(grid_flag)) {
         return usage_error("--" + std::string(grid_flag) +
                            " conflicts with --from-file (the suite file "
@@ -399,6 +434,13 @@ int cmd_sweep(const cli::Args& args) {
       spec.geometries.push_back(geometry.value());
     }
   }
+  if (const auto modes = nonempty_value(args, "modes", rc)) {
+    for (const std::string& name : cli::split_list(*modes)) {
+      auto mode = cli::parse_mode(name);
+      if (!mode.ok()) return bad_flag_value(mode.error());
+      spec.modes.push_back(mode.value());
+    }
+  }
   if (const auto baseline = nonempty_value(args, "baseline", rc)) {
     auto machine = cli::parse_machine(*baseline);
     if (!machine.ok()) return bad_flag_value(machine.error());
@@ -428,7 +470,183 @@ int cmd_sweep(const cli::Args& args) {
 
 // --------------------------------------------------------------- bench ----
 
+// ----------------------------------------------------- bench --compare ----
+
+/// One data point of a BENCH artifact, keyed for cross-artifact matching.
+struct BenchPoint {
+  std::string key;  ///< "kernel|machine|config|geometry|mode"
+  std::uint64_t cycles = 0;
+  double mips = 0.0;
+};
+
+/// Loads the points of one BENCH_*.json artifact. Accepts both schema v1
+/// (no per-point mode; defaults to "pipeline") and v2.
+Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Error{ErrorCode::kIo, "cannot read artifact '" + path + "'"};
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  auto document = json::parse(text.str());
+  if (!document.ok()) {
+    return std::move(document).error().with_context("artifact " + path);
+  }
+  const json::Value& root = document.value();
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      (schema->as_string() != "zolcsim-bench-v1" &&
+       schema->as_string() != std::string(scenario::kBenchSchema))) {
+    return Error{ErrorCode::kParse,
+                 "'" + path + "' is not a zolcsim BENCH artifact"};
+  }
+  const json::Value* points = root.find("points");
+  if (points == nullptr || !points->is_array()) {
+    return Error{ErrorCode::kParse, "'" + path + "' has no points array"};
+  }
+  std::vector<BenchPoint> out;
+  for (const json::Value& point : points->items()) {
+    BenchPoint p;
+    for (const char* part : {"kernel", "machine", "config", "geometry"}) {
+      const json::Value* v = point.find(part);
+      if (v == nullptr || !v->is_string()) {
+        return Error{ErrorCode::kParse, "'" + path +
+                                            "' point lacks a string '" +
+                                            part + "'"};
+      }
+      if (!p.key.empty()) p.key += '|';
+      p.key += v->as_string();
+    }
+    p.key += '|';
+    if (const json::Value* mode = point.find("mode")) {
+      if (!mode->is_string()) {
+        return Error{ErrorCode::kParse,
+                     "'" + path + "' point has a non-string 'mode'"};
+      }
+      p.key += mode->as_string();
+    } else {
+      p.key += "pipeline";  // schema v1 predates the mode axis
+    }
+    const json::Value* cycles = point.find("cycles");
+    const auto n = cycles ? cycles->as_uint() : std::nullopt;
+    if (!n) {
+      return Error{ErrorCode::kParse,
+                   "'" + path + "' point lacks an integer 'cycles'"};
+    }
+    p.cycles = *n;
+    if (const json::Value* mips = point.find("mips");
+        mips != nullptr && mips->is_number()) {
+      p.mips = mips->as_number();
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+/// Lists the BENCH_*.json artifacts directly under `dir`, sorted by name.
+Result<std::vector<std::string>> list_bench_artifacts(const std::string& dir) {
+  auto files = scenario::list_suite_files(dir);  // *.json, sorted
+  if (!files.ok()) return std::move(files).error();
+  std::vector<std::string> artifacts;
+  for (std::string& path : files.value()) {
+    const std::string name = std::filesystem::path(path).filename().string();
+    if (name.rfind("BENCH_", 0) == 0) artifacts.push_back(std::move(path));
+  }
+  return artifacts;
+}
+
+/// `bench --compare OLD NEW`: matches artifacts by file name and points by
+/// (kernel, machine, config, geometry, mode). Cycle counts must be exactly
+/// equal (they are deterministic); MIPS may regress up to `tolerance`
+/// percent (they are host measurements). Exit 1 on any violation.
+int cmd_bench_compare(const cli::Args& args) {
+  if (const int rc =
+          reject_unknown_flags(args, {"tolerance"}, {"compare"})) {
+    return rc;
+  }
+  if (args.positional.size() != 2) {
+    return usage_error("bench --compare takes exactly two directories");
+  }
+  int rc = 0;
+  double tolerance = 10.0;
+  if (const auto pct = positive_int_flag(args, "tolerance", rc, 1000)) {
+    tolerance = static_cast<double>(*pct);
+  }
+  if (rc != 0) return rc;
+
+  const auto old_files = list_bench_artifacts(args.positional[0]);
+  if (!old_files.ok()) return toolchain_error(old_files.error());
+  const auto new_files = list_bench_artifacts(args.positional[1]);
+  if (!new_files.ok()) return toolchain_error(new_files.error());
+  if (old_files.value().empty() || new_files.value().empty()) {
+    return toolchain_error(
+        Error{ErrorCode::kIo, "no BENCH_*.json artifacts to compare"});
+  }
+
+  int violations = 0;
+  std::size_t matched_points = 0;
+  for (const std::string& new_path : new_files.value()) {
+    const std::string name =
+        std::filesystem::path(new_path).filename().string();
+    const std::string* old_path = nullptr;
+    for (const std::string& candidate : old_files.value()) {
+      if (std::filesystem::path(candidate).filename().string() == name) {
+        old_path = &candidate;
+        break;
+      }
+    }
+    if (old_path == nullptr) {
+      std::printf("%-28s only in %s (skipped)\n", name.c_str(),
+                  args.positional[1].c_str());
+      continue;
+    }
+    auto old_points = load_bench_points(*old_path);
+    if (!old_points.ok()) return toolchain_error(old_points.error());
+    auto new_points = load_bench_points(new_path);
+    if (!new_points.ok()) return toolchain_error(new_points.error());
+
+    for (const BenchPoint& np : new_points.value()) {
+      const BenchPoint* op = nullptr;
+      for (const BenchPoint& candidate : old_points.value()) {
+        if (candidate.key == np.key) {
+          op = &candidate;
+          break;
+        }
+      }
+      if (op == nullptr) continue;  // new grid point; nothing to diff
+      ++matched_points;
+      const double mips_delta_pct =
+          op->mips > 0.0 ? 100.0 * (np.mips - op->mips) / op->mips : 0.0;
+      const bool cycles_differ = np.cycles != op->cycles;
+      const bool mips_regressed = mips_delta_pct < -tolerance;
+      if (cycles_differ) {
+        std::printf("FAIL %-52s cycles %llu -> %llu\n", np.key.c_str(),
+                    static_cast<unsigned long long>(op->cycles),
+                    static_cast<unsigned long long>(np.cycles));
+        ++violations;
+      } else if (mips_regressed) {
+        std::printf("FAIL %-52s mips %.2f -> %.2f (%.1f%%)\n", np.key.c_str(),
+                    op->mips, np.mips, mips_delta_pct);
+        ++violations;
+      } else {
+        std::printf("ok   %-52s cycles %llu  mips %.2f -> %.2f (%+.1f%%)\n",
+                    np.key.c_str(),
+                    static_cast<unsigned long long>(np.cycles), op->mips,
+                    np.mips, mips_delta_pct);
+      }
+    }
+  }
+  std::printf("%zu matched points, %d violation(s), tolerance %.0f%%\n",
+              matched_points, violations, tolerance);
+  if (matched_points == 0) {
+    return toolchain_error(Error{
+        ErrorCode::kBadConfig, "the artifact sets share no data points"});
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 int cmd_bench(const cli::Args& args) {
+  if (args.has("compare")) return cmd_bench_compare(args);
   if (const int rc = reject_unknown_flags(
           args, {"suite-dir", "out-dir", "threads"}, {})) {
     return rc;
