@@ -74,7 +74,7 @@ int suite_main(const char* suite_name, int argc, char** argv) {
       "hits)\n"
       "  wrote %s and %s\n",
       done.report.cells.size(), done.golden_checked ? "match" : "unchecked",
-      done.wall_seconds, done.mips, done.report.compile_cache_misses,
+      done.wall_seconds, done.mips, done.report.compile_cache_compiles,
       done.report.compile_cache_hits, csv_path.c_str(), artifact.c_str());
   return 0;
 }

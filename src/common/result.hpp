@@ -49,6 +49,10 @@ enum class ErrorCode : std::uint8_t {
   kScanUnsafeBody,       ///< body writes index/bound or makes calls
   kScanTailTargeted,     ///< a branch targets the patched tail
   kScanLiveIndex,        ///< index register is live after the loop
+
+  // On-disk unit store (flow::UnitStore) artifact rejections.
+  kStoreCorrupt,  ///< artifact fails shape / integrity / key checks
+  kStoreStale,    ///< artifact written under a different toolchain tag
 };
 
 [[nodiscard]] constexpr std::string_view error_code_name(
@@ -72,8 +76,34 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kScanUnsafeBody:       return "scan-unsafe-body";
     case ErrorCode::kScanTailTargeted:     return "scan-tail-targeted";
     case ErrorCode::kScanLiveIndex:        return "scan-live-index";
+    case ErrorCode::kStoreCorrupt:         return "store-corrupt";
+    case ErrorCode::kStoreStale:           return "store-stale";
   }
   return "?";
+}
+
+/// Every ErrorCode, for name round-trips (keep in sync with the enum).
+inline constexpr ErrorCode kAllErrorCodes[] = {
+    ErrorCode::kUnknown,        ErrorCode::kParse,
+    ErrorCode::kEncode,         ErrorCode::kBadConfig,
+    ErrorCode::kUnknownKernel,  ErrorCode::kInvalidKernel,
+    ErrorCode::kCapacity,       ErrorCode::kSimulation,
+    ErrorCode::kVerifyMismatch, ErrorCode::kIo,
+    ErrorCode::kThreshold,      ErrorCode::kScanNotInnermost,
+    ErrorCode::kScanIrregularShape, ErrorCode::kScanMultiExit,
+    ErrorCode::kScanNonConstantBound, ErrorCode::kScanUnsafeBody,
+    ErrorCode::kScanTailTargeted, ErrorCode::kScanLiveIndex,
+    ErrorCode::kStoreCorrupt,   ErrorCode::kStoreStale,
+};
+
+/// Inverse of error_code_name(); kUnknown for unrecognized names (serialized
+/// artifacts from newer builds degrade gracefully rather than failing).
+[[nodiscard]] constexpr ErrorCode parse_error_code(
+    std::string_view name) noexcept {
+  for (const ErrorCode code : kAllErrorCodes) {
+    if (error_code_name(code) == name) return code;
+  }
+  return ErrorCode::kUnknown;
 }
 
 /// A structured error: code + innermost message + outermost-first context

@@ -417,6 +417,13 @@ LoopSummarizer::RunOutcome LoopSummarizer::run_region(
         if (page_no != store_page_no_) {
           store_page_no_ = page_no;
           store_page_ = mem.touch_page(addr);
+          // touch_page may have just privatized a copy-on-write baseline
+          // page; a load way still holding the baseline pointer for the
+          // same page would read pre-store data. Repoint it.
+          for (unsigned w = 0; w < 4; ++w) {
+            if (load_page_no_[w] == page_no) load_page_[w] = store_page_;
+          }
+          mem_epoch_ = mem.cow_epoch();
         }
         const std::uint32_t ofs = addr & (mem::Memory::kPageSize - 1);
         const auto uv = static_cast<std::uint32_t>(regs.read_raw(u.rt));
@@ -454,6 +461,13 @@ account:
 LoopSummarizer::Replay LoopSummarizer::try_engage(
     LoopAccelerator& accel, const isa::CodeImage& image, mem::Memory& mem,
     RegFile& regs, std::uint32_t pc, std::uint64_t max_instructions) {
+  // Copy-on-write memories invalidate handed-out page pointers when a
+  // baseline page is privatized or the dirty set is reset; re-validate the
+  // page caches against the epoch before touching them.
+  if (mem.cow_epoch() != mem_epoch_) {
+    drop_page_cache();
+    mem_epoch_ = mem.cow_epoch();
+  }
   // Accelerators that export their tables get summary execution: every
   // boundary event resolves inline, with no controller call per event. The
   // chaining path below remains for accelerators that only expose the

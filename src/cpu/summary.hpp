@@ -129,13 +129,7 @@ class LoopSummarizer {
     cache_hi_ = 0;
     mru_key_[0] = mru_key_[1] = 0;
     mru_entry_[0] = mru_entry_[1] = nullptr;
-    for (unsigned w = 0; w < 4; ++w) {
-      load_page_no_[w] = UINT32_MAX;
-      load_page_[w] = nullptr;
-    }
-    load_victim_ = 0;
-    store_page_no_ = UINT32_MAX;
-    store_page_ = nullptr;
+    drop_page_cache();
   }
 
   /// Minimum remaining back-edges required to engage closed-form replay on
@@ -257,6 +251,23 @@ class LoopSummarizer {
   std::uint32_t load_victim_ = 0;
   std::uint32_t store_page_no_ = UINT32_MAX;
   std::uint8_t* store_page_ = nullptr;
+  /// mem::Memory::cow_epoch() observed when the page caches were last
+  /// (re)filled. Copy-on-write memories bump their epoch when a baseline
+  /// page is privatized or reset_to_baseline() frees private pages; a
+  /// mismatch at engagement entry drops the cached page pointers above.
+  std::uint64_t mem_epoch_ = 0;
+
+  /// Drops only the raw page-pointer caches (keeps decoded regions, which
+  /// depend on the code image, not on data-page identity).
+  void drop_page_cache() noexcept {
+    for (unsigned w = 0; w < 4; ++w) {
+      load_page_no_[w] = UINT32_MAX;
+      load_page_[w] = nullptr;
+    }
+    load_victim_ = 0;
+    store_page_no_ = UINT32_MAX;
+    store_page_ = nullptr;
+  }
   /// Scratch buffers reused across engagements (allocation-free replay).
   std::vector<std::int64_t> scratch_strides_;
   std::vector<StoreRecord> scratch_rec_[2];

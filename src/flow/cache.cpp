@@ -2,42 +2,79 @@
 
 #include <utility>
 
+#include "common/strings.hpp"
+
 namespace zolcsim::flow {
+
+CompileCache::Shard& CompileCache::shard_for(const std::string& key) noexcept {
+  return shards_[fnv1a64(key) % kShardCount];
+}
 
 Result<std::shared_ptr<const CompiledUnit>> CompileCache::get_or_compile(
     const CompileSpec& spec) {
   const std::string key = spec.key();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (const auto it = units_.find(key); it != units_.end()) {
-    ++stats_.hits;
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.units.find(key); it != shard.units.end()) {
+    ++shard.stats.hits;
     return it->second;
   }
-  // Compiling under the lock serializes compiles, but a compile is cheap
-  // next to the simulations that consume it, and this guarantees the
-  // exactly-once property the miss counter advertises.
+  // Resolving under the shard lock serializes same-shard misses, but a
+  // resolution is cheap next to the simulations that consume it, and this
+  // guarantees the exactly-once property the compile counter advertises.
+  // Failed resolutions count nowhere: misses only tallies units resolved.
+  if (store_ != nullptr) {
+    // Any load failure (miss, stale tag, corrupt artifact) falls through
+    // to a compile; the save below then replaces the bad artifact.
+    if (auto loaded = store_->load(spec); loaded.ok() && loaded.value()) {
+      ++shard.stats.misses;
+      ++shard.stats.store_hits;
+      shard.units.emplace(key, loaded.value());
+      return std::move(loaded).value();
+    }
+  }
   auto compiled = CompiledUnit::compile(spec);
   if (!compiled.ok()) return std::move(compiled).error();
-  ++stats_.misses;
+  ++shard.stats.misses;
+  ++shard.stats.compiles;
   auto unit =
       std::make_shared<const CompiledUnit>(std::move(compiled).value());
-  units_.emplace(key, unit);
+  shard.units.emplace(key, unit);
+  if (store_ != nullptr) {
+    // Best-effort write-back: a full disk or read-only store directory
+    // must not fail the sweep that compiled the unit.
+    (void)store_->save(*unit);
+  }
   return unit;
 }
 
 CompileCache::Stats CompileCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.store_hits += shard.stats.store_hits;
+    total.compiles += shard.stats.compiles;
+  }
+  return total;
 }
 
 std::size_t CompileCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return units_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.units.size();
+  }
+  return total;
 }
 
 void CompileCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  units_.clear();
-  stats_ = {};
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.units.clear();
+    shard.stats = {};
+  }
 }
 
 }  // namespace zolcsim::flow

@@ -2,13 +2,19 @@
 //
 // The sweep engine's grid repeats each (kernel, machine, geometry, env)
 // point once per pipeline configuration; the cache collapses those to one
-// compile each. Compilation happens under the lock, so a unit is compiled
-// exactly once no matter how many workers race for it -- the miss counter
-// is therefore also the number of compiles performed, which SweepReport
-// exposes (and tests assert).
+// compile each. The map is striped over kShardCount mutexes keyed by the
+// spec's FNV-1a hash, so parallel sweep workers resolving different units
+// no longer convoy on a single lock; within a shard, resolution happens
+// under the lock, so a unit is still resolved exactly once no matter how
+// many workers race for it. The miss counter counts in-memory misses; with
+// an attached UnitStore a miss is first served from disk (store_hits), so
+// the number of compiles actually performed is the separate `compiles`
+// counter (== misses when no store is attached), which SweepReport exposes
+// (and tests assert).
 #ifndef ZOLCSIM_FLOW_CACHE_HPP
 #define ZOLCSIM_FLOW_CACHE_HPP
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -16,29 +22,55 @@
 #include <unordered_map>
 
 #include "flow/compiled_unit.hpp"
+#include "flow/unit_store.hpp"
 
 namespace zolcsim::flow {
 
 class CompileCache {
  public:
+  /// Mutex stripes. A power of two well above typical sweep thread counts;
+  /// the per-shard cost is one mutex and one small map.
+  static constexpr std::size_t kShardCount = 16;
+
   struct Stats {
-    std::size_t hits = 0;
-    std::size_t misses = 0;  ///< == number of compiles performed
+    std::size_t hits = 0;        ///< served from memory
+    std::size_t misses = 0;      ///< not in memory (store or compile)
+    std::size_t store_hits = 0;  ///< misses served by the attached store
+    std::size_t compiles = 0;    ///< compiles performed (misses - store_hits)
   };
 
-  /// Returns the unit for `spec`, compiling it on first use. A failed
-  /// compile is not cached (every caller for that spec gets the error).
+  /// Attaches an on-disk UnitStore (non-owning; must outlive the cache):
+  /// misses try store.load() before compiling, and fresh compiles are
+  /// written back with store.save(). Store failures never fail a lookup --
+  /// a bad artifact is recompiled and overwritten. Attach before sharing
+  /// the cache across threads.
+  void attach_store(UnitStore* store) noexcept { store_ = store; }
+  [[nodiscard]] UnitStore* store() const noexcept { return store_; }
+
+  /// Returns the unit for `spec`, resolving it on first use (store load or
+  /// compile). A failed compile is not cached (every caller for that spec
+  /// gets the error).
   [[nodiscard]] Result<std::shared_ptr<const CompiledUnit>> get_or_compile(
       const CompileSpec& spec);
 
+  /// Counters summed over all shards. With concurrent callers in flight
+  /// the sum is a snapshot; quiesced, it is exact.
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledUnit>> units_;
-  Stats stats_;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::shared_ptr<const CompiledUnit>>
+        units;
+    Stats stats;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) noexcept;
+
+  std::array<Shard, kShardCount> shards_;
+  UnitStore* store_ = nullptr;  ///< non-owning; set once before use
 };
 
 }  // namespace zolcsim::flow

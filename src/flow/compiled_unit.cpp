@@ -118,6 +118,18 @@ std::vector<TableWrite> collect_table_writes(const codegen::Program& program) {
 
 }  // namespace
 
+std::shared_ptr<const mem::Memory> CompiledUnit::prepared_image() const {
+  const std::lock_guard<std::mutex> lock(image_slot_->mutex);
+  if (!image_slot_->image) {
+    auto image = std::make_shared<mem::Memory>();
+    program_.load_into(*image);
+    kernel_->setup(spec_.env, *image);
+    image->reset_stats();  // preparation writes are not run statistics
+    image_slot_->image = std::move(image);
+  }
+  return image_slot_->image;
+}
+
 std::string CompiledUnit::disassembly() const {
   std::string out;
   std::uint32_t pc = program_.base;
@@ -185,7 +197,11 @@ std::string CompiledUnit::to_json() const {
            "\", \"index_reg\": " + std::to_string(plan.index_reg) +
            ", \"initial\": " + std::to_string(plan.initial) +
            ", \"final\": " + std::to_string(plan.final) +
-           ", \"step\": " + std::to_string(plan.step) + "}";
+           ", \"step\": " + std::to_string(plan.step) +
+           ", \"cond\": " +
+           std::to_string(static_cast<unsigned>(plan.cond)) +
+           ", \"update_index\": " + std::to_string(plan.update_index) +
+           ", \"branch_index\": " + std::to_string(plan.branch_index) + "}";
   }
   out += scan_.candidates.empty() ? "],\n" : "\n    ],\n";
   out += "    \"rejected\": [";

@@ -14,6 +14,8 @@
 #ifndef ZOLCSIM_FLOW_COMPILED_UNIT_HPP
 #define ZOLCSIM_FLOW_COMPILED_UNIT_HPP
 
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "cfg/zolcscan.hpp"
@@ -22,6 +24,7 @@
 #include "common/result.hpp"
 #include "isa/code_image.hpp"
 #include "kernels/kernels.hpp"
+#include "mem/memory.hpp"
 #include "zolc/config.hpp"
 
 namespace zolcsim::flow {
@@ -85,6 +88,14 @@ class CompiledUnit {
   /// lowered code (candidate counted loops + rejection reasons).
   [[nodiscard]] const cfg::ScanReport& scan() const noexcept { return scan_; }
 
+  /// The prepared memory image for this unit -- program words at
+  /// env.code_base plus the kernel's deterministic input data
+  /// (Kernel::setup) -- built on first use and cached for the unit's
+  /// lifetime. Immutable once built: warm Workloads attach it as their
+  /// copy-on-write baseline (mem::Memory::set_baseline) and must never
+  /// write through it. Thread-safe; copies of the unit share the image.
+  [[nodiscard]] std::shared_ptr<const mem::Memory> prepared_image() const;
+
   /// Full disassembly listing of the lowered program (one line per word).
   [[nodiscard]] std::string disassembly() const;
 
@@ -96,17 +107,30 @@ class CompiledUnit {
   [[nodiscard]] std::string to_json() const;
 
  private:
+  // UnitStore reconstructs units from deserialized parts (bypassing the
+  // compile pipeline) and must reach this constructor.
+  friend class UnitStore;
+
   CompiledUnit(const kernels::Kernel& kernel, CompileSpec spec,
                codegen::Program program, cfg::ScanReport scan)
       : kernel_(&kernel),
         spec_(std::move(spec)),
         program_(std::move(program)),
-        scan_(std::move(scan)) {}
+        scan_(std::move(scan)),
+        image_slot_(std::make_shared<ImageSlot>()) {}
+
+  /// Lazily built prepared image; shared (not deep-copied) across unit
+  /// copies -- the image depends only on the immutable program + env.
+  struct ImageSlot {
+    std::mutex mutex;
+    std::shared_ptr<const mem::Memory> image;
+  };
 
   const kernels::Kernel* kernel_;  ///< non-owning; registry or caller-owned
   CompileSpec spec_;
   codegen::Program program_;
   cfg::ScanReport scan_;
+  std::shared_ptr<ImageSlot> image_slot_;
 };
 
 }  // namespace zolcsim::flow

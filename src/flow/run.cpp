@@ -41,16 +41,27 @@ cpu::PipelineStats run_iss(const CompiledUnit& unit, Workload& workload,
 
 Result<harness::ExperimentResult> run(const CompiledUnit& unit,
                                       const RunPlan& plan) {
-  Workload workload = Workload::prepare(unit);
+  // One workload serves every repetition: warm starts reset the
+  // copy-on-write dirty set between reps, cold starts rebuild the image
+  // (the single prepare here is also the only one on the reps == 1 path).
+  Workload workload = plan.warm_start ? Workload::prepare_warm(unit)
+                                      : Workload::prepare(unit);
   auto result = run(unit, workload, plan);
-  // Extra timing reps: identical runs on fresh workloads, keeping the
-  // minimum wall time (the least-disturbed measurement of the same work).
+  if (result.ok() && !plan.warm_start) ++result.value().full_prepares;
+  // Extra timing reps: identical runs on restored initial state, keeping
+  // the minimum wall time (the least-disturbed measurement of the same
+  // work).
   for (std::uint64_t rep = 1; result.ok() && rep < plan.timing_reps; ++rep) {
-    Workload fresh = Workload::prepare(unit);
-    auto again = run(unit, fresh, plan);
+    workload.reset();
+    auto again = run(unit, workload, plan);
     if (!again.ok()) return again;
     if (again.value().wall_ns < result.value().wall_ns) {
       result.value().wall_ns = again.value().wall_ns;
+    }
+    if (plan.warm_start) {
+      ++result.value().image_resets;
+    } else {
+      ++result.value().full_prepares;
     }
   }
   return result;

@@ -26,12 +26,19 @@ struct RunPlan {
   /// the instruction count instead.
   harness::ExecMode mode;
   /// Wall-clock repetitions for the fresh-Workload overload: the simulation
-  /// runs this many times (each on its own Workload, so every run is
-  /// identical) and wall_ns reports the minimum. Architectural results and
-  /// statistics come from a single run -- they are rep-invariant. Use >1
-  /// when a cell is too short for one-shot timing (MIPS thresholds, bench
-  /// artifacts); ignored by the caller-prepared-Workload overload.
+  /// runs this many times on identical initial state and wall_ns reports
+  /// the minimum. Architectural results and statistics come from a single
+  /// run -- they are rep-invariant. Use >1 when a cell is too short for
+  /// one-shot timing (MIPS thresholds, bench artifacts); ignored by the
+  /// caller-prepared-Workload overload.
   std::uint64_t timing_reps = 1;
+  /// Warm-start (the default): the fresh-Workload overload runs on a
+  /// copy-on-write view of the unit's cached prepared image, and timing
+  /// reps restore it with an O(dirty-pages) reset instead of re-running
+  /// Kernel::setup. Architecturally identical to a cold start (the golden
+  /// digests of every scenario suite pin this); disable to measure or
+  /// exercise the historical build-image-per-run path.
+  bool warm_start = true;
 };
 
 /// Runs `unit` on a fresh Workload. Failure modes: kSimulation (trap or

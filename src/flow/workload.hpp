@@ -1,13 +1,18 @@
 // Workload: the runtime-stage memory image for one CompiledUnit.
 //
 // prepare() loads the program image and the kernel's deterministic input
-// data into a fresh simulator memory; verify() closes the loop by checking
-// the outputs against the kernel's golden C++ reference. A Workload is
-// cheap relative to a compile and is consumed by one run (the run mutates
-// its memory), so callers that sweep a unit across pipeline configs prepare
-// one Workload per run while sharing the CompiledUnit.
+// data into a fresh simulator memory; prepare_warm() instead attaches the
+// unit's cached immutable PreparedImage as a copy-on-write baseline, so the
+// per-run cost is O(1) to create and O(dirty pages) to reset() between
+// repetitions -- no Kernel::setup re-run. Both produce bit-identical
+// effective memory. verify() closes the loop by checking the outputs
+// against the kernel's golden C++ reference. A Workload is consumed by one
+// run (the run mutates its memory); warm workloads can be reset() and
+// reused, cold ones are prepared fresh per run.
 #ifndef ZOLCSIM_FLOW_WORKLOAD_HPP
 #define ZOLCSIM_FLOW_WORKLOAD_HPP
+
+#include <memory>
 
 #include "common/result.hpp"
 #include "flow/compiled_unit.hpp"
@@ -17,23 +22,36 @@ namespace zolcsim::flow {
 
 class Workload {
  public:
-  /// Builds the initial memory image: program words at env.code_base plus
-  /// the kernel's input/constant tables (Kernel::setup).
+  /// Builds the initial memory image from scratch: program words at
+  /// env.code_base plus the kernel's input/constant tables (Kernel::setup).
   [[nodiscard]] static Workload prepare(const CompiledUnit& unit);
+
+  /// Warm-start variant: a copy-on-write view over the unit's shared
+  /// prepared_image(). Reads the same bytes as prepare() but allocates no
+  /// pages up front; the image is built at most once per unit.
+  [[nodiscard]] static Workload prepare_warm(const CompiledUnit& unit);
 
   [[nodiscard]] mem::Memory& memory() noexcept { return memory_; }
   [[nodiscard]] const mem::Memory& memory() const noexcept { return memory_; }
+
+  /// Restores the pristine prepared image so the workload can host another
+  /// run: O(dirty pages) for warm workloads, a full rebuild for cold ones.
+  /// Also clears the memory access statistics.
+  void reset();
+
+  /// True when this workload reads through a shared baseline image.
+  [[nodiscard]] bool warm() const noexcept {
+    return memory_.has_baseline();
+  }
 
   /// Golden-reference output check (Kernel::verify). Fails with
   /// ErrorCode::kVerifyMismatch and a "kernel (machine)" context frame.
   [[nodiscard]] Result<void> verify() const;
 
  private:
-  Workload(const kernels::Kernel& kernel, const CompileSpec& spec)
-      : kernel_(&kernel), spec_(&spec) {}
+  explicit Workload(const CompiledUnit& unit) : unit_(&unit) {}
 
-  const kernels::Kernel* kernel_;  ///< non-owning (unit outlives workload)
-  const CompileSpec* spec_;        ///< non-owning view of the unit's spec
+  const CompiledUnit* unit_;  ///< non-owning (unit outlives workload)
   mem::Memory memory_;
 };
 

@@ -53,6 +53,12 @@ struct ExperimentResult {
   /// BENCH_*.json MIPS figures only -- never the deterministic CSV/JSON
   /// report emitters, which must stay byte-identical across hosts.
   std::uint64_t wall_ns = 0;
+  /// Warm-start accounting for this cell: how many times the full memory
+  /// image was built (program load + Kernel::setup) vs restored by an
+  /// O(dirty) copy-on-write baseline reset. BENCH-artifact material only,
+  /// like wall_ns -- never part of the deterministic emitters.
+  std::uint64_t full_prepares = 0;
+  std::uint64_t image_resets = 0;
 };
 
 /// Runs one (kernel, machine) experiment. Output verification failures and

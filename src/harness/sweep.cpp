@@ -358,6 +358,7 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
         plan.predecode = spec.predecode;
         plan.mode = report.modes[x];
         plan.timing_reps = spec.timing_reps;
+        plan.warm_start = spec.warm_start;
         auto result =
             unit.ok() ? flow::run(*unit.value(), plan)
                       : Result<ExperimentResult>(std::move(unit).error());
@@ -404,6 +405,10 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
   const flow::CompileCache::Stats cache_stats = cache.stats();
   report.compile_cache_hits = cache_stats.hits - stats_before.hits;
   report.compile_cache_misses = cache_stats.misses - stats_before.misses;
+  report.compile_cache_store_hits =
+      cache_stats.store_hits - stats_before.store_hits;
+  report.compile_cache_compiles =
+      cache_stats.compiles - stats_before.compiles;
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {
@@ -420,6 +425,8 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
     cell.geometry = (i / n_modes) % n_geoms;
     cell.mode = i % n_modes;
     cell.result = std::move(outcomes[i].result);
+    report.full_prepares += cell.result.full_prepares;
+    report.image_resets += cell.result.image_resets;
     report.cells.push_back(std::move(cell));
   }
   return report;

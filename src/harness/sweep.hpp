@@ -44,6 +44,12 @@ struct SweepSpec {
   /// minimum over this many identical runs. Use >1 for suites whose cells
   /// are too short for stable one-shot MIPS.
   std::uint64_t timing_reps = 1;
+  /// Warm-start run path (RunPlan::warm_start, default on): cells run on
+  /// copy-on-write views of each unit's shared prepared image instead of
+  /// rebuilding the memory image per run. Architecturally identical either
+  /// way (scenario golden digests pin it); off reproduces the historical
+  /// cold path for comparison.
+  bool warm_start = true;
 };
 
 /// Machines carrying the given ZOLC variants (the variant axis of a sweep
@@ -88,11 +94,22 @@ struct SweepReport {
   std::vector<SweepCell> cells;
 
   /// Compile-cache counters for the sweep: `compile_cache_misses` is the
-  /// number of units actually compiled (exactly one per distinct
+  /// number of units not already in memory (exactly one per distinct
   /// (kernel, machine, geometry) point that ran), `compile_cache_hits` the
-  /// number of cells that reused one. Not part of the CSV/JSON emitters.
+  /// number of cells that reused one. With an attached UnitStore, misses
+  /// split into `compile_cache_store_hits` (reloaded from disk) and
+  /// `compile_cache_compiles` (actually compiled); without one, compiles ==
+  /// misses. Not part of the CSV/JSON emitters.
   std::size_t compile_cache_hits = 0;
   std::size_t compile_cache_misses = 0;
+  std::size_t compile_cache_store_hits = 0;
+  std::size_t compile_cache_compiles = 0;
+
+  /// Warm-start accounting summed over all cells (see ExperimentResult):
+  /// full image builds vs O(dirty) copy-on-write resets. BENCH-artifact
+  /// material, not part of the CSV/JSON emitters.
+  std::uint64_t full_prepares = 0;
+  std::uint64_t image_resets = 0;
 
   [[nodiscard]] const ExperimentResult& at(std::size_t kernel,
                                            std::size_t machine,

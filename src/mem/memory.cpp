@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bitutil.hpp"
+#include "common/contracts.hpp"
 #include "common/strings.hpp"
 
 namespace zolcsim::mem {
@@ -19,27 +20,73 @@ namespace {
 
 const std::uint8_t* Memory::page_for_read(std::uint32_t addr) const {
   const auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.get();
+  if (it != pages_.end()) return it->second.get();
+  if (baseline_) {
+    const auto base = baseline_->pages_.find(addr >> kPageBits);
+    if (base != baseline_->pages_.end()) return base->second.get();
+  }
+  return nullptr;
 }
 
 std::uint8_t* Memory::page_for_write(std::uint32_t addr) {
   Page& page = pages_[addr >> kPageBits];
   if (!page) {
     page = std::make_unique<std::uint8_t[]>(kPageSize);
-    std::memset(page.get(), 0, kPageSize);
+    const std::uint8_t* base = nullptr;
+    if (baseline_) {
+      const auto it = baseline_->pages_.find(addr >> kPageBits);
+      if (it != baseline_->pages_.end()) base = it->second.get();
+    }
+    if (base) {
+      // Privatizing a baseline page invalidates read pointers handed out
+      // for it earlier; advertise that to pointer-caching consumers.
+      std::memcpy(page.get(), base, kPageSize);
+      ++cow_epoch_;
+    } else {
+      std::memset(page.get(), 0, kPageSize);
+    }
   }
   return page.get();
 }
 
+void Memory::set_baseline(std::shared_ptr<const Memory> baseline) {
+  ZS_EXPECTS(baseline != nullptr);
+  ZS_EXPECTS(!baseline->has_baseline());  // no COW chains
+  ZS_EXPECTS(pages_.empty());
+  baseline_ = std::move(baseline);
+}
+
+void Memory::reset_to_baseline() {
+  ZS_EXPECTS(baseline_ != nullptr);
+  if (pages_.empty()) return;
+  pages_.clear();
+  ++cow_epoch_;
+}
+
 bool operator==(const Memory& a, const Memory& b) {
-  const auto covered_by = [](const Memory& lhs, const Memory& rhs) {
-    static const std::uint8_t kZeroPage[Memory::kPageSize] = {};
+  static const std::uint8_t kZeroPage[Memory::kPageSize] = {};
+  // Effective view: private pages shadow baseline pages, absent reads as 0.
+  const auto effective = [](const Memory& m,
+                            std::uint32_t page_no) -> const std::uint8_t* {
+    const auto it = m.pages_.find(page_no);
+    if (it != m.pages_.end()) return it->second.get();
+    if (m.baseline_) {
+      const auto base = m.baseline_->pages_.find(page_no);
+      if (base != m.baseline_->pages_.end()) return base->second.get();
+    }
+    return kZeroPage;
+  };
+  const auto covered_by = [&effective](const Memory& lhs, const Memory& rhs) {
+    const auto pages_match = [&](std::uint32_t page_no) {
+      return std::memcmp(effective(lhs, page_no), effective(rhs, page_no),
+                         Memory::kPageSize) == 0;
+    };
     for (const auto& [page_no, page] : lhs.pages_) {
-      const auto it = rhs.pages_.find(page_no);
-      const std::uint8_t* other =
-          it == rhs.pages_.end() ? kZeroPage : it->second.get();
-      if (std::memcmp(page.get(), other, Memory::kPageSize) != 0) {
-        return false;
+      if (!pages_match(page_no)) return false;
+    }
+    if (lhs.baseline_) {
+      for (const auto& [page_no, page] : lhs.baseline_->pages_) {
+        if (!pages_match(page_no)) return false;
       }
     }
     return true;
@@ -61,8 +108,8 @@ std::uint16_t Memory::read16(std::uint32_t addr) const {
   const std::uint8_t* page = page_for_read(addr);
   if (!page) return 0;
   const std::uint32_t ofs = addr & (kPageSize - 1);
-  return static_cast<std::uint16_t>(page[ofs] |
-                                    (static_cast<std::uint16_t>(page[ofs + 1]) << 8));
+  return static_cast<std::uint16_t>(
+      page[ofs] | (static_cast<std::uint16_t>(page[ofs + 1]) << 8));
 }
 
 std::uint32_t Memory::read32(std::uint32_t addr) const {

@@ -2,6 +2,12 @@
 // full 4 GiB address space can be simulated with only the touched pages
 // resident. Misaligned accesses raise MemoryFault (the modelled core, like
 // XiRisc, has no misaligned access support).
+//
+// A Memory can additionally reference an immutable shared baseline image
+// (copy-on-write): reads fall through to the baseline, the first write to a
+// page privatizes a local copy, and reset_to_baseline() drops the private
+// (dirty) pages in O(dirty) — the warm-start alternative to rebuilding the
+// image with Kernel::setup.
 #ifndef ZOLCSIM_MEM_MEMORY_HPP
 #define ZOLCSIM_MEM_MEMORY_HPP
 
@@ -63,30 +69,70 @@ class Memory {
   [[nodiscard]] const MemoryStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MemoryStats{}; }
 
-  /// Number of resident (touched) pages; used by tests to verify sparseness.
+  /// Number of locally resident (touched) pages; used by tests to verify
+  /// sparseness. Baseline pages are not counted: with a baseline attached
+  /// this is the dirty-page count.
   [[nodiscard]] std::size_t resident_pages() const noexcept {
     return pages_.size();
   }
 
-  /// Content equality over the union of both memories' resident pages; a
-  /// page resident on one side only must be all-zero (absent memory reads
-  /// as zero, so residency itself is not architectural state). Statistics
-  /// are not compared. Used by co-simulation tests to compare full images.
+  // ---- copy-on-write baseline ----
+
+  /// Attaches `baseline` as the immutable shared image this memory reads
+  /// through. Requires: `baseline` non-null, itself baseline-free (no COW
+  /// chains), and this memory still empty (no pages written yet). The
+  /// baseline must not be mutated while any view references it.
+  void set_baseline(std::shared_ptr<const Memory> baseline);
+
+  [[nodiscard]] bool has_baseline() const noexcept {
+    return baseline_ != nullptr;
+  }
+  [[nodiscard]] const std::shared_ptr<const Memory>& baseline() const noexcept {
+    return baseline_;
+  }
+
+  /// Discards every private page so the memory reads as the baseline image
+  /// again, in O(dirty pages). Requires a baseline. Statistics are kept;
+  /// reset them separately if the next run should start from zero.
+  void reset_to_baseline();
+
+  /// Pages privatized (or newly created) since set_baseline(); without a
+  /// baseline, identical to resident_pages().
+  [[nodiscard]] std::size_t dirty_pages() const noexcept {
+    return pages_.size();
+  }
+
+  /// Incremented whenever a raw page pointer handed out earlier may have
+  /// become invalid: a baseline page is privatized (the read pointer now
+  /// aliases stale data) or reset_to_baseline() frees private pages.
+  /// Consumers that cache peek_page()/touch_page() results across calls
+  /// (cpu::LoopSummarizer) must drop their caches when this changes.
+  [[nodiscard]] std::uint64_t cow_epoch() const noexcept { return cow_epoch_; }
+
+  /// Content equality over the union of both memories' effective pages
+  /// (private pages shadowing baseline pages); a page resident on one side
+  /// only must be all-zero (absent memory reads as zero, so residency
+  /// itself is not architectural state). Statistics are not compared. Used
+  /// by co-simulation tests to compare full images.
   friend bool operator==(const Memory& a, const Memory& b);
 
   // Raw page access for the ISS summary tier (cpu::LoopSummarizer), which
-  // caches the returned pointers across a replay. Pages are never moved or
-  // freed once allocated, so the pointers stay valid for the Memory's
-  // lifetime. These do no statistics accounting: callers batch the counts
+  // caches the returned pointers across a replay. Without a baseline, pages
+  // are never moved or freed once allocated, so the pointers stay valid for
+  // the Memory's lifetime. With a baseline, peek_page() may return a
+  // baseline page that a later write shadows, and reset_to_baseline() frees
+  // private pages — both bump cow_epoch(), which caching consumers must
+  // check. These do no statistics accounting: callers batch the counts
   // through count_accesses() so MemoryStats stay exact.
 
-  /// The resident page containing `addr`, or nullptr when the page was
-  /// never written (such memory reads as zero).
+  /// The resident page containing `addr` (private first, then baseline), or
+  /// nullptr when the page was never written (such memory reads as zero).
   [[nodiscard]] const std::uint8_t* peek_page(std::uint32_t addr) const {
     return page_for_read(addr);
   }
 
-  /// The writable page containing `addr`, allocated on first touch.
+  /// The writable (private) page containing `addr`, allocated — and copied
+  /// from the baseline when one covers it — on first touch.
   [[nodiscard]] std::uint8_t* touch_page(std::uint32_t addr) {
     return page_for_write(addr);
   }
@@ -108,6 +154,8 @@ class Memory {
   [[nodiscard]] std::uint8_t* page_for_write(std::uint32_t addr);
 
   std::unordered_map<std::uint32_t, Page> pages_;
+  std::shared_ptr<const Memory> baseline_;
+  std::uint64_t cow_epoch_ = 0;
   mutable MemoryStats stats_;
 };
 

@@ -135,6 +135,24 @@ Result<SuiteOutcome> run_suite(const Suite& suite, flow::CompileCache& cache,
   harness::SweepSpec spec = suite.sweep;
   spec.threads = options.threads;
 
+  // A "both" suite runs the grid cold first; the warm pass below must then
+  // render a byte-identical CSV, pinning the copy-on-write run path against
+  // the historical cold path on this exact grid. The warm pass is the
+  // reported one (its timings reflect the default run path).
+  std::optional<std::string> cold_csv;
+  if (suite.warm_start == WarmStart::kBoth) {
+    harness::SweepSpec cold = spec;
+    cold.warm_start = false;
+    auto cold_swept = harness::run_sweep(cold, cache);
+    if (!cold_swept.ok()) {
+      return std::move(cold_swept)
+          .error()
+          .with_context("suite " + suite.name + " (cold pass)");
+    }
+    cold_csv = cold_swept.value().to_csv();
+    spec.warm_start = true;
+  }
+
   const auto started = std::chrono::steady_clock::now();
   auto swept = harness::run_sweep(spec, cache);
   if (!swept.ok()) {
@@ -148,6 +166,16 @@ Result<SuiteOutcome> run_suite(const Suite& suite, flow::CompileCache& cache,
 
   outcome.csv = outcome.report.to_csv();
   outcome.csv_fnv1a64 = fnv1a64(outcome.csv);
+  if (cold_csv) {
+    if (*cold_csv != outcome.csv) {
+      return Error{ErrorCode::kVerifyMismatch,
+                   "warm-start CSV differs from the cold-start CSV (the "
+                   "copy-on-write run path is not architecturally "
+                   "invisible)"}
+          .with_context("suite " + suite.name);
+    }
+    outcome.warm_cold_checked = true;
+  }
   if (suite.expect_csv_fnv1a64) {
     if (*suite.expect_csv_fnv1a64 != outcome.csv_fnv1a64) {
       if (options.enforce_golden) {
@@ -212,10 +240,20 @@ std::string bench_artifact_json(const SuiteOutcome& outcome) {
   out += "  \"wall_seconds\": " + format_fixed(outcome.wall_seconds, 4) +
          ",\n";
   out += "  \"mips\": " + format_fixed(outcome.mips, 2) + ",\n";
+  out += "  \"warm_start\": \"";
+  out += warm_start_name(outcome.suite.warm_start);
+  out += "\",\n";
   out += "  \"compile_cache\": {\"hits\": " +
          std::to_string(report.compile_cache_hits) +
          ", \"misses\": " + std::to_string(report.compile_cache_misses) +
+         ", \"store_hits\": " +
+         std::to_string(report.compile_cache_store_hits) +
+         ", \"compiles\": " + std::to_string(report.compile_cache_compiles) +
          ", \"hit_rate\": " + format_fixed(hit_rate, 3) + "},\n";
+  out += "  \"prepares\": {\"full\": " +
+         std::to_string(report.full_prepares) +
+         ", \"image_resets\": " + std::to_string(report.image_resets) +
+         "},\n";
   out += "  \"csv_fnv1a64\": \"" + hex64(outcome.csv_fnv1a64) + "\",\n";
   out += std::string("  \"golden\": \"") +
          (outcome.golden_checked ? "match" : "unchecked") + "\",\n";

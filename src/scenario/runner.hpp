@@ -17,9 +17,11 @@
 namespace zolcsim::scenario {
 
 /// Current BENCH artifact schema ("schema" field). v2 added the per-point
-/// "mode" field and the conditional "fastpath" counter object; `zolcsim
-/// bench --compare` still accepts v1 artifacts (mode defaults "pipeline").
-inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v2";
+/// "mode" field and the conditional "fastpath" counter object; v3 added
+/// the suite "warm_start" field, the compile-cache store_hits/compiles
+/// split, and the "prepares" counter object. `zolcsim bench --compare`
+/// still accepts v1/v2 artifacts (absent fields take their defaults).
+inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v3";
 
 struct RunOptions {
   unsigned threads = 0;            ///< sweep worker count; 0 = hardware
@@ -36,13 +38,17 @@ struct SuiteOutcome {
   std::string csv;
   std::uint64_t csv_fnv1a64 = 0;
   bool golden_checked = false;  ///< an expected digest existed and matched
+  /// A WarmStart::kBoth suite ran cold + warm and the CSVs matched byte
+  /// for byte (always false for single-pass suites).
+  bool warm_cold_checked = false;
   double wall_seconds = 0.0;    ///< whole-suite wall time (compile + run)
   double mips = 0.0;            ///< simulated instructions / wall / 1e6
 };
 
 /// Runs the suite's grid. Errors: everything run_sweep can fail with, plus
 /// kVerifyMismatch when the rendered CSV's digest differs from the suite's
-/// golden and kThreshold when a per-cell expectation is violated (both
+/// golden (or, for warm_start "both", when the warm CSV differs from the
+/// cold one) and kThreshold when a per-cell expectation is violated (both
 /// subject to RunOptions).
 [[nodiscard]] Result<SuiteOutcome> run_suite(const Suite& suite,
                                              flow::CompileCache& cache,

@@ -36,17 +36,23 @@ class TestKernel : public kernels::Kernel {
       const kernels::KernelEnv&) const override {
     return kir_;
   }
-  void setup(const kernels::KernelEnv&, mem::Memory&) const override {}
+  void setup(const kernels::KernelEnv&, mem::Memory&) const override {
+    if (setup_count_ != nullptr) ++*setup_count_;
+  }
   [[nodiscard]] Result<void> verify(const kernels::KernelEnv& env,
                                     const mem::Memory& memory) const override {
     if (verify_) return verify_(env, memory);
     return {};
   }
 
+  /// Counts every setup() call into `*count` (for prepare-count tests).
+  void count_setups(int* count) { setup_count_ = count; }
+
  private:
   std::vector<codegen::KNode> kir_;
   std::function<Result<void>(const kernels::KernelEnv&, const mem::Memory&)>
       verify_;
+  int* setup_count_ = nullptr;
 };
 
 CompileSpec spec_for(std::string kernel, MachineKind machine,
@@ -212,6 +218,121 @@ TEST(Workload, PrepareLoadsProgramImageAndIsConsumedPerRun) {
   const auto s = run(unit.value(), second, {});
   ASSERT_TRUE(a.ok() && s.ok());
   EXPECT_EQ(a.value().stats.cycles, s.value().stats.cycles);
+}
+
+// ---------------- warm-start run path ----------------
+
+/// A runnable TestKernel: stores 1 to out_base, verify accepts it.
+TestKernel make_store_one_kernel() {
+  codegen::KernelBuilder kb;
+  kb.li(8, 0x0012'0000);
+  kb.for_count(1, 0, 1, 1, [&] {
+    kb.op(b::addi(2, 0, 1));
+    kb.op(b::sw(2, 0, 8));
+  });
+  return TestKernel(
+      kb.take(), [](const kernels::KernelEnv& env, const mem::Memory& memory) {
+        return kernels::detail::check_words(memory, env.out_base, {1}, "out");
+      });
+}
+
+TEST(CompiledUnit, PreparedImageIsBuiltOnceAndShared) {
+  TestKernel kernel = make_store_one_kernel();
+  int setups = 0;
+  kernel.count_setups(&setups);
+  const auto unit = CompiledUnit::compile(
+      kernel, spec_for("test", MachineKind::kXrDefault));
+  ASSERT_TRUE(unit.ok()) << unit.error().to_string();
+
+  const auto image = unit.value().prepared_image();
+  ASSERT_NE(image, nullptr);
+  EXPECT_EQ(setups, 1);
+  EXPECT_EQ(unit.value().prepared_image().get(), image.get());
+  // Copies of the unit share the cached image (ImageSlot is shared).
+  const CompiledUnit copy = unit.value();
+  EXPECT_EQ(copy.prepared_image().get(), image.get());
+  EXPECT_EQ(setups, 1);
+  // The image holds the loaded program and starts with clean stats.
+  EXPECT_EQ(image->fetch32(unit.value().env().code_base),
+            isa::encode(unit.value().program().code.front()));
+  EXPECT_EQ(image->stats().writes, 0u);
+}
+
+TEST(FlowRun, WarmStartPreparesOnceAcrossTimingReps) {
+  TestKernel kernel = make_store_one_kernel();
+  int setups = 0;
+  kernel.count_setups(&setups);
+  const auto unit = CompiledUnit::compile(
+      kernel, spec_for("test", MachineKind::kXrDefault));
+  ASSERT_TRUE(unit.ok()) << unit.error().to_string();
+
+  RunPlan plan;
+  plan.timing_reps = 3;
+  plan.warm_start = true;
+  const auto warm = run(unit.value(), plan);
+  ASSERT_TRUE(warm.ok()) << warm.error().to_string();
+  EXPECT_EQ(setups, 1);  // one prepared-image build serves every rep
+  EXPECT_EQ(warm.value().image_resets, 2u);
+  EXPECT_EQ(warm.value().full_prepares, 0u);
+
+  setups = 0;
+  plan.warm_start = false;
+  const auto cold = run(unit.value(), plan);
+  ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+  EXPECT_EQ(setups, 3);  // one full rebuild per rep, none shared
+  EXPECT_EQ(cold.value().image_resets, 0u);
+  EXPECT_EQ(cold.value().full_prepares, 3u);
+
+  // The run path is architecturally invisible.
+  EXPECT_EQ(warm.value().stats.cycles, cold.value().stats.cycles);
+  EXPECT_EQ(warm.value().stats.instructions,
+            cold.value().stats.instructions);
+}
+
+TEST(FlowRun, SingleRepPreparesExactlyOnce) {
+  // Regression pin for the historical double-prepare: the fresh-workload
+  // run() overload must not build one image just to throw it away.
+  TestKernel kernel = make_store_one_kernel();
+  int setups = 0;
+  kernel.count_setups(&setups);
+  const auto unit = CompiledUnit::compile(
+      kernel, spec_for("test", MachineKind::kXrDefault));
+  ASSERT_TRUE(unit.ok());
+
+  RunPlan cold;
+  cold.warm_start = false;
+  ASSERT_TRUE(run(unit.value(), cold).ok());
+  EXPECT_EQ(setups, 1);
+
+  setups = 0;
+  RunPlan warm;
+  warm.warm_start = true;
+  ASSERT_TRUE(run(unit.value(), warm).ok());
+  EXPECT_EQ(setups, 1);
+}
+
+TEST(Workload, WarmViewMatchesColdAcrossRegistryKernels) {
+  const auto unit =
+      CompiledUnit::compile(spec_for("conv2d", MachineKind::kZolcFull));
+  ASSERT_TRUE(unit.ok());
+  Workload cold = Workload::prepare(unit.value());
+  Workload warm = Workload::prepare_warm(unit.value());
+  EXPECT_FALSE(cold.warm());
+  EXPECT_TRUE(warm.warm());
+  EXPECT_TRUE(cold.memory() == warm.memory());
+
+  const auto a = run(unit.value(), cold, {});
+  const auto b = run(unit.value(), warm, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().stats.cycles, b.value().stats.cycles);
+  EXPECT_EQ(a.value().stats.instructions, b.value().stats.instructions);
+  EXPECT_TRUE(cold.memory() == warm.memory());  // same final image
+
+  // reset() restores both to the pristine image.
+  cold.reset();
+  warm.reset();
+  EXPECT_TRUE(cold.memory() == warm.memory());
+  EXPECT_EQ(warm.memory().stats().writes, 0u);
 }
 
 // ---------------- compile cache ----------------

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
+#include "common/contracts.hpp"
 #include "mem/memory.hpp"
 
 namespace zolcsim::mem {
@@ -113,6 +117,163 @@ TEST(Memory, OverwriteInPlace) {
   m.write32(0x40, 0xAAAA'AAAA);
   m.write32(0x40, 0x5555'5555);
   EXPECT_EQ(m.read32(0x40), 0x5555'5555u);
+}
+
+// ---- copy-on-write baseline ----
+
+/// Writes the deterministic test image (several pages) into `m`.
+void write_image(Memory& m) {
+  for (std::uint32_t addr = 0; addr < 4 * Memory::kPageSize; addr += 4) {
+    m.write32(addr, addr * 2654435761u + 1);
+  }
+  m.reset_stats();
+}
+
+/// A small deterministic baseline image spanning several pages.
+std::shared_ptr<const Memory> make_baseline() {
+  auto image = std::make_shared<Memory>();
+  write_image(*image);
+  return image;
+}
+
+TEST(MemoryCow, ReadsFallThroughToBaseline) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  EXPECT_TRUE(view.has_baseline());
+  EXPECT_EQ(view.read32(0x40), baseline->read32(0x40));
+  EXPECT_EQ(view.fetch32(0x1000), baseline->fetch32(0x1000));
+  // Beyond the baseline image: still zero.
+  EXPECT_EQ(view.read32(8 * Memory::kPageSize), 0u);
+  EXPECT_EQ(view.dirty_pages(), 0u);  // reads never privatize
+}
+
+TEST(MemoryCow, WritePrivatizesOnePage) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  const std::uint32_t before = view.read32(0x104);
+  view.write32(0x100, 0xDEAD'BEEF);
+  EXPECT_EQ(view.dirty_pages(), 1u);
+  EXPECT_EQ(view.read32(0x100), 0xDEAD'BEEFu);
+  // The rest of the privatized page was copied, not zeroed.
+  EXPECT_EQ(view.read32(0x104), before);
+  // The shared baseline is untouched.
+  EXPECT_NE(baseline->read32(0x100), 0xDEAD'BEEFu);
+}
+
+TEST(MemoryCow, ResetToBaselineDropsDirtyPages) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  view.write32(0x100, 1);
+  view.write32(Memory::kPageSize + 8, 2);
+  view.write32(9 * Memory::kPageSize, 3);  // a page the baseline lacks
+  EXPECT_EQ(view.dirty_pages(), 3u);
+  view.reset_to_baseline();
+  EXPECT_EQ(view.dirty_pages(), 0u);
+  EXPECT_EQ(view.read32(0x100), baseline->read32(0x100));
+  EXPECT_EQ(view.read32(9 * Memory::kPageSize), 0u);
+  EXPECT_TRUE(view == *baseline);
+}
+
+TEST(MemoryCow, EpochAdvancesOnPrivatizationAndReset) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  const std::uint64_t e0 = view.cow_epoch();
+  view.write32(0x10, 1);  // privatizes page 0
+  const std::uint64_t e1 = view.cow_epoch();
+  EXPECT_GT(e1, e0);
+  view.write32(0x20, 2);  // same page, already private: no bump
+  EXPECT_EQ(view.cow_epoch(), e1);
+  view.reset_to_baseline();
+  EXPECT_GT(view.cow_epoch(), e1);
+  const std::uint64_t e2 = view.cow_epoch();
+  view.reset_to_baseline();  // nothing dirty: no bump
+  EXPECT_EQ(view.cow_epoch(), e2);
+}
+
+TEST(MemoryCow, MisalignedFaultDoesNotPrivatize) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  EXPECT_THROW(view.write32(0x101, 1), MemoryFault);
+  EXPECT_THROW(view.write16(0x7, 1), MemoryFault);
+  EXPECT_THROW((void)view.read32(0x2), MemoryFault);
+  EXPECT_EQ(view.dirty_pages(), 0u);
+  EXPECT_TRUE(view == *baseline);
+}
+
+TEST(MemoryCow, SetBaselineContracts) {
+  const auto baseline = make_baseline();
+  Memory chained;
+  chained.set_baseline(baseline);
+  auto shared_view = std::make_shared<Memory>();
+  shared_view->set_baseline(baseline);
+
+  Memory dirty;
+  dirty.write8(0, 1);
+  EXPECT_THROW(dirty.set_baseline(baseline), ContractViolation);
+  Memory view;
+  EXPECT_THROW(view.set_baseline(nullptr), ContractViolation);
+  // No COW chains: a view cannot serve as another view's baseline.
+  EXPECT_THROW(view.set_baseline(shared_view), ContractViolation);
+  Memory plain;
+  EXPECT_THROW(plain.reset_to_baseline(), ContractViolation);
+}
+
+TEST(MemoryCow, EqualityIgnoresResidencyDifferences) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+  // A privatized page with unchanged content stays equal to the baseline.
+  const std::uint32_t v = view.read32(0x200);
+  view.write32(0x200, v);
+  EXPECT_EQ(view.dirty_pages(), 1u);
+  EXPECT_TRUE(view == *baseline);
+  // An all-zero private page equals absent memory on the other side.
+  Memory a;
+  Memory b;
+  a.write32(5 * Memory::kPageSize, 0);
+  EXPECT_TRUE(a == b);
+  a.write32(5 * Memory::kPageSize, 7);
+  EXPECT_FALSE(a == b);
+}
+
+/// Randomized write/reset fuzz: a COW view and a plain-copy oracle receive
+/// the same writes; the view must stay equal to the oracle, and after
+/// reset_to_baseline() it must match the pristine image again.
+TEST(MemoryCow, FuzzAgainstPlainCopyOracle) {
+  const auto baseline = make_baseline();
+  Memory view;
+  view.set_baseline(baseline);
+
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    Memory oracle;  // plain copy of the image, rebuilt the cold way
+    write_image(oracle);
+    for (int i = 0; i < 400; ++i) {
+      // Cover baseline pages, fresh pages, and the page-boundary seam.
+      const std::uint32_t addr =
+          static_cast<std::uint32_t>(next() % (6 * Memory::kPageSize)) & ~3u;
+      const auto value = static_cast<std::uint32_t>(next());
+      view.write32(addr, value);
+      oracle.write32(addr, value);
+    }
+    EXPECT_TRUE(view == oracle) << "round " << round;
+    EXPECT_LE(view.dirty_pages(), 6u);
+    view.reset_to_baseline();
+    EXPECT_TRUE(view == *baseline) << "round " << round;
+    EXPECT_EQ(view.dirty_pages(), 0u);
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 //   zolcsim run <kernel> [...]         compile + run one experiment
 //   zolcsim sweep [...]                grid sweep, CSV/JSON to stdout/file
 //   zolcsim bench [...]                run scenario suites, emit BENCH_*.json
+//   zolcsim store stat|gc [...]        inspect / clean an on-disk unit store
 //
 // Run `zolcsim help` (or any subcommand with bad flags) for the full flag
 // list. Exit codes: 0 success, 1 toolchain error, 2 usage error.
@@ -27,6 +28,7 @@
 #include "flow/cache.hpp"
 #include "flow/compiled_unit.hpp"
 #include "flow/run.hpp"
+#include "flow/unit_store.hpp"
 #include "harness/sweep.hpp"
 #include "kernels/kernels.hpp"
 #include "scenario/runner.hpp"
@@ -62,6 +64,8 @@ commands:
       --modes=a,b,...       pipeline|iss|iss-fast (default pipeline)
       --baseline=NAME       reduction baseline    (default XRdefault)
       --max-cycles=N --threads=N
+      --store-dir=DIR       on-disk unit store: reload compiled units from
+                            DIR and write fresh compiles back
       --format=csv|json     default csv
       --out=FILE            default stdout
       --from-file=SUITE     run a scenario suite file instead of grid flags
@@ -69,9 +73,14 @@ commands:
   bench                     run scenario suites, write BENCH_<suite>.json
       --suite-dir=DIR       directory of *.json suite files
       --out-dir=DIR         artifact directory    (default .)
-      --threads=N
+      --threads=N --store-dir=DIR
+      --expect-zero-compiles  fail (exit 1) if any unit was compiled rather
+                            than served from memory or the store
   bench --compare OLD NEW   diff two BENCH artifact directories per point
       --tolerance=PCT       allowed MIPS regression (default 10)
+  store stat                inventory a unit store directory
+  store gc                  drop stale/corrupt artifacts from a store
+      --store-dir=DIR       (required for both store subcommands)
 exit codes: 0 ok, 1 toolchain error / comparison failure, 2 usage error
 )";
 
@@ -136,6 +145,21 @@ int reject_unknown_flags(const cli::Args& args,
   const std::vector<std::string> unknown = args.unknown(values, switches);
   if (unknown.empty()) return 0;
   return usage_error("unknown flag '" + unknown.front() + "'");
+}
+
+/// Attaches the on-disk unit store named by --store-dir (if present) to the
+/// process cache. The store must outlive the cache, hence the static.
+/// Returns 0, or a usage-error exit code for an empty flag value.
+int attach_store_flag(const cli::Args& args) {
+  int rc = 0;
+  const auto dir = nonempty_value(args, "store-dir", rc);
+  if (rc != 0) return rc;
+  if (dir) {
+    static std::optional<flow::UnitStore> store;
+    store.emplace(*dir);
+    process_cache().attach_store(&*store);
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------- list ----
@@ -353,9 +377,11 @@ int emit_sweep_report(const harness::SweepReport& report,
           Error{ErrorCode::kIo, "cannot write '" + *out_path + "'"});
     }
     std::fprintf(stderr,
-                 "wrote %zu cells to %s (%zu compiles, %zu cache hits)\n",
+                 "wrote %zu cells to %s (%zu compiles, %zu store hits, "
+                 "%zu cache hits)\n",
                  report.cells.size(), out_path->c_str(),
-                 report.compile_cache_misses, report.compile_cache_hits);
+                 report.compile_cache_compiles,
+                 report.compile_cache_store_hits, report.compile_cache_hits);
   } else {
     std::fputs(rendered.c_str(), stdout);
   }
@@ -366,13 +392,15 @@ int cmd_sweep(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
           args,
           {"kernels", "machines", "configs", "geometries", "modes",
-           "baseline", "max-cycles", "threads", "format", "out", "from-file"},
+           "baseline", "max-cycles", "threads", "format", "out", "from-file",
+           "store-dir"},
           {})) {
     return rc;
   }
   if (!args.positional.empty()) {
     return usage_error("sweep takes no positional arguments");
   }
+  if (const int rc = attach_store_flag(args)) return rc;
   int rc = 0;
   if (const auto suite_path = nonempty_value(args, "from-file", rc)) {
     // Suite mode: the file is the grid; only execution/output flags apply.
@@ -479,8 +507,8 @@ struct BenchPoint {
   double mips = 0.0;
 };
 
-/// Loads the points of one BENCH_*.json artifact. Accepts both schema v1
-/// (no per-point mode; defaults to "pipeline") and v2.
+/// Loads the points of one BENCH_*.json artifact. Accepts schema v1 (no
+/// per-point mode; defaults to "pipeline"), v2, and v3.
 Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -496,6 +524,7 @@ Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
   const json::Value* schema = root.find("schema");
   if (schema == nullptr || !schema->is_string() ||
       (schema->as_string() != "zolcsim-bench-v1" &&
+       schema->as_string() != "zolcsim-bench-v2" &&
        schema->as_string() != std::string(scenario::kBenchSchema))) {
     return Error{ErrorCode::kParse,
                  "'" + path + "' is not a zolcsim BENCH artifact"};
@@ -648,12 +677,14 @@ int cmd_bench_compare(const cli::Args& args) {
 int cmd_bench(const cli::Args& args) {
   if (args.has("compare")) return cmd_bench_compare(args);
   if (const int rc = reject_unknown_flags(
-          args, {"suite-dir", "out-dir", "threads"}, {})) {
+          args, {"suite-dir", "out-dir", "threads", "store-dir"},
+          {"expect-zero-compiles"})) {
     return rc;
   }
   if (!args.positional.empty()) {
     return usage_error("bench takes no positional arguments");
   }
+  if (const int rc = attach_store_flag(args)) return rc;
   int rc = 0;
   const auto suite_dir = nonempty_value(args, "suite-dir", rc);
   if (rc != 0) return rc;
@@ -704,8 +735,71 @@ int cmd_bench(const cli::Args& args) {
                 done.wall_seconds, done.mips);
   }
   const flow::CompileCache::Stats cache = process_cache().stats();
-  std::printf("compile cache: %zu compiles, %zu hits across %zu suites\n",
-              cache.misses, cache.hits, files.value().size());
+  std::printf(
+      "compile cache: %zu compiles, %zu store hits, %zu memory hits "
+      "across %zu suites\n",
+      cache.compiles, cache.store_hits, cache.hits, files.value().size());
+  if (args.has("expect-zero-compiles") && cache.compiles > 0) {
+    return toolchain_error(
+        Error{ErrorCode::kVerifyMismatch,
+              std::to_string(cache.compiles) +
+                  " unit(s) compiled despite --expect-zero-compiles (the "
+                  "unit store should have served them)"});
+  }
+  return 0;
+}
+
+// --------------------------------------------------------------- store ----
+
+/// `store stat` / `store gc`: offline inventory and maintenance of an
+/// on-disk unit store directory.
+int cmd_store(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(args, {"store-dir"}, {})) return rc;
+  if (args.positional.size() != 1 ||
+      (args.positional.front() != "stat" && args.positional.front() != "gc")) {
+    return usage_error("store takes exactly one action: stat or gc");
+  }
+  int rc = 0;
+  const auto dir = nonempty_value(args, "store-dir", rc);
+  if (rc != 0) return rc;
+  if (!dir) return usage_error("store requires --store-dir=DIR");
+
+  flow::UnitStore store(*dir);
+  if (args.positional.front() == "gc") {
+    auto outcome = store.gc();
+    if (!outcome.ok()) return toolchain_error(outcome.error());
+    std::printf("store gc: removed %zu artifact(s) (%llu bytes), kept %zu\n",
+                outcome.value().removed,
+                static_cast<unsigned long long>(outcome.value().bytes_freed),
+                outcome.value().kept);
+    return 0;
+  }
+
+  auto artifacts = store.scan_artifacts();
+  if (!artifacts.ok()) return toolchain_error(artifacts.error());
+  std::size_t current = 0, stale = 0, corrupt = 0;
+  std::uintmax_t bytes = 0;
+  for (const flow::UnitStore::ArtifactInfo& info : artifacts.value()) {
+    switch (info.state) {
+      case flow::UnitStore::ArtifactInfo::State::kCurrent:
+        ++current;
+        break;
+      case flow::UnitStore::ArtifactInfo::State::kStale:
+        ++stale;
+        break;
+      case flow::UnitStore::ArtifactInfo::State::kCorrupt:
+        ++corrupt;
+        break;
+    }
+    bytes += info.bytes;
+  }
+  std::printf("store %s: %zu artifact(s), %llu bytes\n", dir->c_str(),
+              artifacts.value().size(),
+              static_cast<unsigned long long>(bytes));
+  std::printf("  current %zu, stale %zu, corrupt %zu\n", current, stale,
+              corrupt);
+  std::printf("  toolchain tag: %s\n",
+              flow::UnitStore::toolchain_tag().c_str());
   return 0;
 }
 
@@ -720,6 +814,7 @@ int main(int argc, char** argv) {
   if (command == "run") return cmd_run(args);
   if (command == "sweep") return cmd_sweep(args);
   if (command == "bench") return cmd_bench(args);
+  if (command == "store") return cmd_store(args);
   if (command == "help" || command == "--help" || command == "-h") {
     std::fputs(kUsage, stdout);
     return 0;
