@@ -53,6 +53,9 @@ enum class ErrorCode : std::uint8_t {
   // On-disk unit store (flow::UnitStore) artifact rejections.
   kStoreCorrupt,  ///< artifact fails shape / integrity / key checks
   kStoreStale,    ///< artifact written under a different toolchain tag
+
+  // Accelerator context switching (zolc::ZolcContext).
+  kBadContext,  ///< context/snapshot does not fit the controller's geometry
 };
 
 [[nodiscard]] constexpr std::string_view error_code_name(
@@ -78,6 +81,7 @@ enum class ErrorCode : std::uint8_t {
     case ErrorCode::kScanLiveIndex:        return "scan-live-index";
     case ErrorCode::kStoreCorrupt:         return "store-corrupt";
     case ErrorCode::kStoreStale:           return "store-stale";
+    case ErrorCode::kBadContext:           return "bad-context";
   }
   return "?";
 }
@@ -94,6 +98,7 @@ inline constexpr ErrorCode kAllErrorCodes[] = {
     ErrorCode::kScanNonConstantBound, ErrorCode::kScanUnsafeBody,
     ErrorCode::kScanTailTargeted, ErrorCode::kScanLiveIndex,
     ErrorCode::kStoreCorrupt,   ErrorCode::kStoreStale,
+    ErrorCode::kBadContext,
 };
 
 /// Inverse of error_code_name(); kUnknown for unrecognized names (serialized

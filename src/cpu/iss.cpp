@@ -164,18 +164,25 @@ void Iss::step() {
 std::uint64_t Iss::run(std::uint64_t max_steps) {
   stats_ = IssStats{};
   summarizer_.reset_stats();
+  const std::uint64_t executed = run_slice(max_steps);
+  if (!halted_) {
+    throw SimError("ISS step limit (" + std::to_string(max_steps) +
+                   ") exceeded at pc " + hex32(pc_));
+  }
+  return executed;
+}
+
+std::uint64_t Iss::run_slice(std::uint64_t max_steps) {
   std::uint64_t executed = 0;
-  while (!halted_) {
-    if (executed >= max_steps) {
-      throw SimError("ISS step limit (" + std::to_string(max_steps) +
-                     ") exceeded at pc " + hex32(pc_));
-    }
+  while (!halted_ && executed < max_steps) {
     step();
     ++executed;
     // A fetch-event redirect is the only way execution (re-)enters a
     // ZOLC-managed body's first instruction mid-region; that is where the
     // summary tier can take over. Disabled under a retire hook, which must
-    // observe every instruction individually.
+    // observe every instruction individually. The slice budget caps the
+    // replay, so a preemption point inside a would-be replay simply ends
+    // the replay early and re-validates after the restore.
     if (fast_path_ && fetch_redirected_ && accel_ != nullptr &&
         !retire_hook_) {
       const LoopSummarizer::Replay replay = summarizer_.try_engage(

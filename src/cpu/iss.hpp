@@ -81,6 +81,13 @@ class Iss {
   /// only, regardless of earlier step()/run() activity.
   std::uint64_t run(std::uint64_t max_steps);
 
+  /// Runs until halt or until `max_steps` more instructions executed,
+  /// whichever comes first, and returns the number executed by this call.
+  /// Unlike run(), statistics accumulate across slices and exhausting the
+  /// budget is not an error: callers time-slicing execution (preemption,
+  /// tenant scheduling) check halted() and enforce their own global budget.
+  std::uint64_t run_slice(std::uint64_t max_steps);
+
  private:
   mem::Memory& mem_;
   RegFile regs_;

@@ -5,7 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "common/strings.hpp"
 #include "cpu/iss.hpp"
+#include "flow/scheduler.hpp"
 #include "zolc/controller.hpp"
 
 namespace zolcsim::flow {
@@ -14,17 +16,40 @@ namespace {
 
 /// Runs the unit on the functional ISS. The ISS is 1-CPI by construction,
 /// so the returned PipelineStats report cycles == instructions; pipeline-
-/// specific counters (stalls, flushes) stay zero.
+/// specific counters (stalls, flushes) stay zero. With plan.preempt_every
+/// set, execution is sliced and the controller's full context is clobbered
+/// and restored at every boundary (counters reported through `switches` /
+/// `switch_cycles`) -- architecturally invisible by the differential tests.
 cpu::PipelineStats run_iss(const CompiledUnit& unit, Workload& workload,
                            const RunPlan& plan,
                            zolc::ZolcController* controller,
-                           cpu::FastPathStats& fastpath) {
+                           cpu::FastPathStats& fastpath,
+                           std::uint64_t& switches,
+                           std::uint64_t& switch_cycles) {
   cpu::Iss iss(workload.memory());
   iss.set_accelerator(controller);
   if (plan.predecode) iss.set_code_image(unit.image());
   iss.set_fast_path(plan.mode.fast_path);
   iss.set_pc(unit.program().base);
-  iss.run(plan.max_cycles);
+  if (plan.preempt_every == 0) {
+    iss.run(plan.max_cycles);
+  } else {
+    std::uint64_t executed = 0;
+    while (!iss.halted()) {
+      if (executed >= plan.max_cycles) {
+        throw cpu::SimError("ISS step limit (" +
+                            std::to_string(plan.max_cycles) +
+                            ") exceeded at pc " + hex32(iss.pc()));
+      }
+      executed += iss.run_slice(
+          std::min(plan.preempt_every, plan.max_cycles - executed));
+      if (iss.halted()) break;
+      if (controller != nullptr) {
+        switch_cycles += preempt_cycle(*controller, plan.preempt_serialize);
+        ++switches;
+      }
+    }
+  }
   fastpath = iss.fastpath_stats();
 
   const cpu::IssStats& stats = iss.stats();
@@ -41,6 +66,7 @@ cpu::PipelineStats run_iss(const CompiledUnit& unit, Workload& workload,
 
 Result<harness::ExperimentResult> run(const CompiledUnit& unit,
                                       const RunPlan& plan) {
+  if (plan.tenants != 1) return run_tenants(unit, plan);
   // One workload serves every repetition: warm starts reset the
   // copy-on-write dirty set between reps, cold starts rebuild the image
   // (the single prepare here is also the only one on the reps == 1 path).
@@ -70,6 +96,15 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
 Result<harness::ExperimentResult> run(const CompiledUnit& unit,
                                       Workload& workload,
                                       const RunPlan& plan) {
+  if (plan.tenants != 1) {
+    return Error{ErrorCode::kBadConfig,
+                 "tenant scheduling requires the fresh-workload run() path"};
+  }
+  if (plan.preempt_every != 0 &&
+      plan.mode.engine != harness::SimEngine::kIss) {
+    return Error{ErrorCode::kBadConfig,
+                 "preemption requires the ISS engine"};
+  }
   const codegen::Program& program = unit.program();
 
   std::unique_ptr<zolc::ZolcController> controller;
@@ -80,10 +115,13 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
 
   cpu::PipelineStats stats;
   cpu::FastPathStats fastpath;
+  std::uint64_t switches = 0;
+  std::uint64_t switch_cycles = 0;
   const auto started = std::chrono::steady_clock::now();
   try {
     if (plan.mode.engine == harness::SimEngine::kIss) {
-      stats = run_iss(unit, workload, plan, controller.get(), fastpath);
+      stats = run_iss(unit, workload, plan, controller.get(), fastpath,
+                      switches, switch_cycles);
     } else {
       cpu::Pipeline pipe(workload.memory(), plan.config);
       pipe.set_accelerator(controller.get());
@@ -118,6 +156,8 @@ Result<harness::ExperimentResult> run(const CompiledUnit& unit,
   result.notes = program.notes;
   result.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  result.context_switches = switches;
+  result.context_switch_cycles = switch_cycles;
   return result;
 }
 

@@ -39,6 +39,20 @@ struct RunPlan {
   /// digests of every scenario suite pin this); disable to measure or
   /// exercise the historical build-image-per-run path.
   bool warm_start = true;
+  /// ISS-only preemption interval: every `preempt_every` executed
+  /// instructions the controller's full context is saved, the controller is
+  /// clobbered with reset(), and the context restored (round-tripping
+  /// through the JSON codec when `preempt_serialize` is set) before
+  /// execution resumes. 0 disables. Architecturally invisible -- the
+  /// differential tests pin bit-identical results -- and rejected
+  /// (kBadConfig) under the pipeline engine. Doubles as the scheduling
+  /// quantum when `tenants` > 1.
+  std::uint64_t preempt_every = 0;
+  bool preempt_serialize = false;
+  /// Workloads time-sliced over one controller (flow::run_tenants); the
+  /// fresh-Workload run() overload dispatches there when > 1. ISS only;
+  /// timing_reps are not applied to tenant cells.
+  unsigned tenants = 1;
 };
 
 /// Runs `unit` on a fresh Workload. Failure modes: kSimulation (trap or

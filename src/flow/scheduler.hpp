@@ -1,0 +1,42 @@
+// TenantScheduler: time-slices N workloads of one compiled unit over a
+// single simulated ZOLC controller, swapping the full accelerator context
+// (zolc::ZolcContext) at every quantum boundary. Each tenant keeps its own
+// CPU state and memory image -- only the loop controller is the shared,
+// contended fabric, matching the runtime-reconfigurable-accelerator model
+// the multi-tenant sweep axis quantifies. The modeled context-switch cost
+// (init-bus words moved, DESIGN.md section 9) is reported alongside the
+// summed execution cycles, never folded into them, so tenant cells stay
+// comparable with single-tenant cells.
+#ifndef ZOLCSIM_FLOW_SCHEDULER_HPP
+#define ZOLCSIM_FLOW_SCHEDULER_HPP
+
+#include <cstdint>
+
+#include "flow/run.hpp"
+#include "zolc/controller.hpp"
+
+namespace zolcsim::flow {
+
+/// Scheduling quantum (instructions per tenant slice) when the plan leaves
+/// preempt_every at 0.
+inline constexpr std::uint64_t kDefaultQuantum = 4096;
+
+/// One preemption event on `controller`: saves the full context, optionally
+/// round-trips it through the JSON codec, clobbers the controller with
+/// reset(), and restores the saved context. Returns the modeled switch cost
+/// in cycles. Throws cpu::SimError when the codec or restore fails (always
+/// a bug: the context came from this controller).
+std::uint64_t preempt_cycle(zolc::ZolcController& controller, bool serialize);
+
+/// Runs `plan.tenants` identical workloads of `unit` round-robin over one
+/// controller, one quantum (plan.preempt_every, default kDefaultQuantum)
+/// at a time. Every tenant is verified against the kernel's golden
+/// reference; the result reports summed statistics plus the context-switch
+/// count and cost. Requires the ISS engine (kBadConfig otherwise);
+/// max_cycles bounds each tenant's instruction count like a single run.
+[[nodiscard]] Result<harness::ExperimentResult> run_tenants(
+    const CompiledUnit& unit, const RunPlan& plan);
+
+}  // namespace zolcsim::flow
+
+#endif  // ZOLCSIM_FLOW_SCHEDULER_HPP

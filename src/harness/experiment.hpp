@@ -59,6 +59,15 @@ struct ExperimentResult {
   /// like wall_ns -- never part of the deterministic emitters.
   std::uint64_t full_prepares = 0;
   std::uint64_t image_resets = 0;
+  /// Multi-tenant / preemption accounting: workloads time-sliced over one
+  /// controller, context switches performed, and their modeled cost in
+  /// cycles (init-bus words moved; DESIGN.md section 9). The cost is
+  /// reported alongside -- never folded into -- stats.cycles, so preempted
+  /// runs stay cycle-identical to uninterrupted ones and the tenant CSV
+  /// columns surface the overhead as its own figure.
+  unsigned tenants = 1;
+  std::uint64_t context_switches = 0;
+  std::uint64_t context_switch_cycles = 0;
 };
 
 /// Runs one (kernel, machine) experiment. Output verification failures and

@@ -77,16 +77,19 @@ const ExperimentResult& SweepReport::at(std::size_t kernel,
                                         std::size_t machine,
                                         std::size_t config,
                                         std::size_t geometry,
-                                        std::size_t mode) const {
+                                        std::size_t mode,
+                                        std::size_t tenant) const {
   ZS_EXPECTS(kernel < kernels.size() && machine < machines.size() &&
              config < configs.size() && geometry < geometries.size() &&
-             mode < modes.size());
-  return cells[(((kernel * machines.size() + machine) * configs.size() +
-                 config) *
-                    geometries.size() +
-                geometry) *
-                   modes.size() +
-               mode]
+             mode < modes.size() && tenant < tenants.size());
+  return cells[((((kernel * machines.size() + machine) * configs.size() +
+                  config) *
+                     geometries.size() +
+                 geometry) *
+                    modes.size() +
+                mode) *
+                   tenants.size() +
+               tenant]
       .result;
 }
 
@@ -94,16 +97,17 @@ const ExperimentResult* SweepReport::find(std::string_view kernel,
                                           codegen::MachineKind machine,
                                           std::size_t config,
                                           std::size_t geometry,
-                                          std::size_t mode) const {
+                                          std::size_t mode,
+                                          std::size_t tenant) const {
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     if (kernels[k] != kernel) continue;
     for (std::size_t m = 0; m < machines.size(); ++m) {
       if (machines[m] != machine) continue;
       if (config >= configs.size() || geometry >= geometries.size() ||
-          mode >= modes.size()) {
+          mode >= modes.size() || tenant >= tenants.size()) {
         return nullptr;
       }
-      return &at(k, m, config, geometry, mode);
+      return &at(k, m, config, geometry, mode, tenant);
     }
   }
   return nullptr;
@@ -111,18 +115,18 @@ const ExperimentResult* SweepReport::find(std::string_view kernel,
 
 std::uint64_t SweepReport::cycles(std::size_t kernel, std::size_t machine,
                                   std::size_t config, std::size_t geometry,
-                                  std::size_t mode) const {
-  return at(kernel, machine, config, geometry, mode).stats.cycles;
+                                  std::size_t mode, std::size_t tenant) const {
+  return at(kernel, machine, config, geometry, mode, tenant).stats.cycles;
 }
 
 double SweepReport::reduction(std::size_t kernel, std::size_t machine,
                               std::size_t config, std::size_t geometry,
-                              std::size_t mode) const {
+                              std::size_t mode, std::size_t tenant) const {
   for (std::size_t m = 0; m < machines.size(); ++m) {
     if (machines[m] == baseline) {
-      return percent_reduction(cycles(kernel, m, config, geometry, mode),
-                               cycles(kernel, machine, config, geometry,
-                                      mode));
+      return percent_reduction(
+          cycles(kernel, m, config, geometry, mode, tenant),
+          cycles(kernel, machine, config, geometry, mode, tenant));
     }
   }
   return 0.0;
@@ -137,14 +141,19 @@ bool SweepReport::has_mode_axis() const {
   return modes.size() > 1 || (modes.size() == 1 && !(modes[0] == ExecMode{}));
 }
 
+bool SweepReport::has_tenant_axis() const {
+  return tenants.size() > 1 || (tenants.size() == 1 && tenants[0] != 1);
+}
+
 SweepAggregate SweepReport::aggregate(std::size_t machine,
                                       std::size_t config,
                                       std::size_t geometry,
-                                      std::size_t mode) const {
+                                      std::size_t mode,
+                                      std::size_t tenant) const {
   SweepAggregate agg;
   for (std::size_t k = 0; k < kernels.size(); ++k) {
-    const ExperimentResult& r = at(k, machine, config, geometry, mode);
-    const double red = reduction(k, machine, config, geometry, mode);
+    const ExperimentResult& r = at(k, machine, config, geometry, mode, tenant);
+    const double red = reduction(k, machine, config, geometry, mode, tenant);
     agg.avg_reduction += red;
     agg.max_reduction = std::max(agg.max_reduction, red);
     agg.total_cycles += r.stats.cycles;
@@ -164,9 +173,11 @@ SweepAggregate SweepReport::aggregate(std::size_t machine,
 std::string SweepReport::to_csv() const {
   const bool with_geometry = has_geometry_axis();
   const bool with_mode = has_mode_axis();
+  const bool with_tenants = has_tenant_axis();
   std::vector<std::string> header = {"kernel", "machine", "config"};
   if (with_geometry) header.push_back("geometry");
   if (with_mode) header.push_back("mode");
+  if (with_tenants) header.push_back("tenants");
   for (const char* column :
        {"cycles", "instructions", "reduction_pct", "init_instructions",
         "hw_loops", "sw_loops", "code_words", "continue_events",
@@ -174,22 +185,28 @@ std::string SweepReport::to_csv() const {
         "control_flush_slots"}) {
     header.emplace_back(column);
   }
+  if (with_tenants) {
+    header.emplace_back("ctx_switches");
+    header.emplace_back("ctx_switch_cycles");
+  }
   CsvWriter csv(header);
   for (std::size_t k = 0; k < kernels.size(); ++k) {
     for (std::size_t m = 0; m < machines.size(); ++m) {
       for (std::size_t c = 0; c < configs.size(); ++c) {
         for (std::size_t g = 0; g < geometries.size(); ++g) {
         for (std::size_t x = 0; x < modes.size(); ++x) {
-          const ExperimentResult& r = at(k, m, c, g, x);
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+          const ExperimentResult& r = at(k, m, c, g, x, t);
           std::vector<std::string> row = {
               kernels[k], std::string(codegen::machine_name(machines[m])),
               config_name(configs[c])};
           if (with_geometry) row.push_back(geometries[g].label());
           if (with_mode) row.emplace_back(mode_name(modes[x]));
+          if (with_tenants) row.push_back(std::to_string(tenants[t]));
           for (const std::string& value :
                {std::to_string(r.stats.cycles),
                 std::to_string(r.stats.instructions),
-                format_fixed(reduction(k, m, c, g, x), 4),
+                format_fixed(reduction(k, m, c, g, x, t), 4),
                 std::to_string(r.init_instructions),
                 std::to_string(r.hw_loops), std::to_string(r.sw_loops),
                 std::to_string(r.code_words),
@@ -201,7 +218,12 @@ std::string SweepReport::to_csv() const {
                 std::to_string(r.stats.control_flush_slots)}) {
             row.push_back(value);
           }
+          if (with_tenants) {
+            row.push_back(std::to_string(r.context_switches));
+            row.push_back(std::to_string(r.context_switch_cycles));
+          }
           csv.add_row(std::move(row));
+        }
         }
         }
       }
@@ -213,6 +235,7 @@ std::string SweepReport::to_csv() const {
 std::string SweepReport::to_json() const {
   const bool with_geometry = has_geometry_axis();
   const bool with_mode = has_mode_axis();
+  const bool with_tenants = has_tenant_axis();
   std::string out = "{\n  \"baseline\": \"";
   out += codegen::machine_name(baseline);
   out += "\",\n  \"cells\": [\n";
@@ -222,7 +245,8 @@ std::string SweepReport::to_json() const {
       for (std::size_t c = 0; c < configs.size(); ++c) {
         for (std::size_t g = 0; g < geometries.size(); ++g) {
         for (std::size_t x = 0; x < modes.size(); ++x) {
-          const ExperimentResult& r = at(k, m, c, g, x);
+        for (std::size_t t = 0; t < tenants.size(); ++t) {
+          const ExperimentResult& r = at(k, m, c, g, x, t);
           if (!first) out += ",\n";
           first = false;
           out += "    {\"kernel\": \"" + json_escape(kernels[k]) +
@@ -237,11 +261,14 @@ std::string SweepReport::to_json() const {
             out += "\"mode\": \"" + std::string(mode_name(modes[x])) +
                    "\", ";
           }
+          if (with_tenants) {
+            out += "\"tenants\": " + std::to_string(tenants[t]) + ", ";
+          }
           out += "\"cycles\": " + std::to_string(r.stats.cycles) +
                  ", \"instructions\": " +
                  std::to_string(r.stats.instructions) +
                  ", \"reduction_pct\": " +
-                 format_fixed(reduction(k, m, c, g, x), 4) +
+                 format_fixed(reduction(k, m, c, g, x, t), 4) +
                  ", \"init_instructions\": " +
                  std::to_string(r.init_instructions) +
                  ", \"hw_loops\": " + std::to_string(r.hw_loops) +
@@ -249,7 +276,15 @@ std::string SweepReport::to_json() const {
                  ", \"continue_events\": " +
                  std::to_string(r.zolc_stats.continue_events) +
                  ", \"done_events\": " +
-                 std::to_string(r.zolc_stats.done_events) + "}";
+                 std::to_string(r.zolc_stats.done_events);
+          if (with_tenants) {
+            out += ", \"ctx_switches\": " +
+                   std::to_string(r.context_switches) +
+                   ", \"ctx_switch_cycles\": " +
+                   std::to_string(r.context_switch_cycles);
+          }
+          out += "}";
+        }
         }
         }
       }
@@ -298,19 +333,43 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
           : spec.geometries;
   report.modes = spec.modes.empty() ? std::vector<ExecMode>{ExecMode{}}
                                     : spec.modes;
+  report.tenants = spec.tenants.empty() ? std::vector<unsigned>{1}
+                                        : spec.tenants;
   for (const zolc::ZolcGeometry& geometry : report.geometries) {
     if (!geometry.valid()) {
       return Error{ErrorCode::kBadConfig,
                    "sweep: invalid ZOLC geometry " + geometry.label()};
     }
   }
+  // Tenant scheduling and preemption are ISS-engine features; reject the
+  // combination with any pipeline mode up front rather than per cell.
+  const bool all_iss = [&] {
+    for (const ExecMode& mode : report.modes) {
+      if (mode.engine != SimEngine::kIss) return false;
+    }
+    return true;
+  }();
+  for (const unsigned count : report.tenants) {
+    if (count == 0) {
+      return Error{ErrorCode::kBadConfig, "sweep: tenant count must be >= 1"};
+    }
+    if (count > 1 && !all_iss) {
+      return Error{ErrorCode::kBadConfig,
+                   "sweep: tenant counts > 1 require ISS execution modes"};
+    }
+  }
+  if (spec.preempt_every != 0 && !all_iss) {
+    return Error{ErrorCode::kBadConfig,
+                 "sweep: preemption requires ISS execution modes"};
+  }
 
   const std::size_t n_machines = report.machines.size();
   const std::size_t n_configs = report.configs.size();
   const std::size_t n_geoms = report.geometries.size();
   const std::size_t n_modes = report.modes.size();
-  const std::size_t n_cells =
-      report.kernels.size() * n_machines * n_configs * n_geoms * n_modes;
+  const std::size_t n_tenants = report.tenants.size();
+  const std::size_t n_cells = report.kernels.size() * n_machines * n_configs *
+                              n_geoms * n_modes * n_tenants;
   std::vector<CellOutcome> outcomes(n_cells);
 
   // Each worker claims cell indices from a shared counter and writes only
@@ -329,11 +388,14 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
     for (std::size_t i = next.fetch_add(1);
          i < n_cells && !failed.load(std::memory_order_relaxed);
          i = next.fetch_add(1)) {
-      const std::size_t k = i / (n_machines * n_configs * n_geoms * n_modes);
-      const std::size_t m = (i / (n_configs * n_geoms * n_modes)) % n_machines;
-      const std::size_t c = (i / (n_geoms * n_modes)) % n_configs;
-      const std::size_t g = (i / n_modes) % n_geoms;
-      const std::size_t x = i % n_modes;
+      const std::size_t k =
+          i / (n_machines * n_configs * n_geoms * n_modes * n_tenants);
+      const std::size_t m =
+          (i / (n_configs * n_geoms * n_modes * n_tenants)) % n_machines;
+      const std::size_t c = (i / (n_geoms * n_modes * n_tenants)) % n_configs;
+      const std::size_t g = (i / (n_modes * n_tenants)) % n_geoms;
+      const std::size_t x = (i / n_tenants) % n_modes;
+      const std::size_t t = i % n_tenants;
       CellOutcome& out = outcomes[i];
       // Machines that ignore the geometry (non-ZOLC, and uZOLC whose single
       // loop is fixed) would repeat the g == 0 simulation exactly at every
@@ -359,6 +421,9 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
         plan.mode = report.modes[x];
         plan.timing_reps = spec.timing_reps;
         plan.warm_start = spec.warm_start;
+        plan.preempt_every = spec.preempt_every;
+        plan.preempt_serialize = spec.preempt_serialize;
+        plan.tenants = report.tenants[t];
         auto result =
             unit.ok() ? flow::run(*unit.value(), plan)
                       : Result<ExperimentResult>(std::move(unit).error());
@@ -412,18 +477,21 @@ Result<SweepReport> run_sweep(const SweepSpec& spec,
   report.cells.reserve(n_cells);
   for (std::size_t i = 0; i < n_cells; ++i) {
     if (outcomes[i].state == CellOutcome::State::kCopyGeometryZero) {
-      const std::size_t g = (i / n_modes) % n_geoms;
-      outcomes[i].result = outcomes[i - g * n_modes].result;
+      const std::size_t g = (i / (n_modes * n_tenants)) % n_geoms;
+      outcomes[i].result = outcomes[i - g * (n_modes * n_tenants)].result;
       outcomes[i].result.geometry = report.geometries[g];
       outcomes[i].state = CellOutcome::State::kOk;
     }
     ZS_ASSERT(outcomes[i].state == CellOutcome::State::kOk);
     SweepCell cell;
-    cell.kernel = i / (n_machines * n_configs * n_geoms * n_modes);
-    cell.machine = (i / (n_configs * n_geoms * n_modes)) % n_machines;
-    cell.config = (i / (n_geoms * n_modes)) % n_configs;
-    cell.geometry = (i / n_modes) % n_geoms;
-    cell.mode = i % n_modes;
+    cell.kernel =
+        i / (n_machines * n_configs * n_geoms * n_modes * n_tenants);
+    cell.machine =
+        (i / (n_configs * n_geoms * n_modes * n_tenants)) % n_machines;
+    cell.config = (i / (n_geoms * n_modes * n_tenants)) % n_configs;
+    cell.geometry = (i / (n_modes * n_tenants)) % n_geoms;
+    cell.mode = (i / n_tenants) % n_modes;
+    cell.tenant = i % n_tenants;
     cell.result = std::move(outcomes[i].result);
     report.full_prepares += cell.result.full_prepares;
     report.image_resets += cell.result.image_resets;

@@ -4,7 +4,8 @@
 // over this engine instead of a hand-rolled serial loop.
 //
 // Determinism: cells are indexed kernel-major (kernel, then machine, then
-// config, then geometry, then mode) and each worker writes only its claimed
+// config, then geometry, then mode, then tenant count) and each worker
+// writes only its claimed
 // cell, so the report -- and everything rendered from it -- is
 // byte-identical for any thread count. A sweep that leaves the geometry or
 // mode axis at its default renders exactly as a pre-axis sweep did (no
@@ -35,6 +36,10 @@ struct SweepSpec {
   std::vector<zolc::ZolcGeometry> geometries;
   /// Execution-mode axis (pipeline / iss / iss-fast); empty = pipeline only.
   std::vector<ExecMode> modes;
+  /// Tenant-count axis: N workloads time-sliced over one controller
+  /// (flow::run_tenants). Empty = single-tenant only; counts > 1 require
+  /// every mode on the ISS engine (kBadConfig otherwise).
+  std::vector<unsigned> tenants;
   kernels::KernelEnv env;
   codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
   std::uint64_t max_cycles = 200'000'000;
@@ -50,6 +55,13 @@ struct SweepSpec {
   /// way (scenario golden digests pin it); off reproduces the historical
   /// cold path for comparison.
   bool warm_start = true;
+  /// Preempt-anywhere execution knobs (RunPlan::preempt_every /
+  /// preempt_serialize): every ISS cell is preempted at this instruction
+  /// interval with a full context save/clobber/restore. Architecturally
+  /// invisible -- the differential tests pin that a preempted sweep renders
+  /// byte-identical CSVs -- and requires ISS modes when set.
+  std::uint64_t preempt_every = 0;
+  bool preempt_serialize = false;
 };
 
 /// Machines carrying the given ZOLC variants (the variant axis of a sweep
@@ -65,6 +77,7 @@ struct SweepCell {
   std::size_t config = 0;
   std::size_t geometry = 0;
   std::size_t mode = 0;
+  std::size_t tenant = 0;
   ExperimentResult result;
 };
 
@@ -81,15 +94,16 @@ struct SweepAggregate {
   std::uint64_t table_writes = 0;
 };
 
-/// Order-stable sweep output. Cell (k, m, c, g, x) lives at index
-/// (((k * machines.size() + m) * configs.size() + c) * geometries.size() +
-/// g) * modes.size() + x.
+/// Order-stable sweep output. Cell (k, m, c, g, x, t) lives at index
+/// ((((k * machines.size() + m) * configs.size() + c) * geometries.size() +
+/// g) * modes.size() + x) * tenants.size() + t.
 struct SweepReport {
   std::vector<std::string> kernels;             ///< resolved kernel names
   std::vector<codegen::MachineKind> machines;   ///< resolved machine set
   std::vector<cpu::PipelineConfig> configs;     ///< resolved config grid
   std::vector<zolc::ZolcGeometry> geometries;   ///< resolved geometry axis
   std::vector<ExecMode> modes;                  ///< resolved mode axis
+  std::vector<unsigned> tenants;                ///< resolved tenant axis
   codegen::MachineKind baseline = codegen::MachineKind::kXrDefault;
   std::vector<SweepCell> cells;
 
@@ -115,29 +129,34 @@ struct SweepReport {
                                            std::size_t machine,
                                            std::size_t config = 0,
                                            std::size_t geometry = 0,
-                                           std::size_t mode = 0) const;
+                                           std::size_t mode = 0,
+                                           std::size_t tenant = 0) const;
   /// Lookup by names; nullptr when the cell is not in the grid.
   [[nodiscard]] const ExperimentResult* find(std::string_view kernel,
                                              codegen::MachineKind machine,
                                              std::size_t config = 0,
                                              std::size_t geometry = 0,
-                                             std::size_t mode = 0) const;
+                                             std::size_t mode = 0,
+                                             std::size_t tenant = 0) const;
 
   [[nodiscard]] std::uint64_t cycles(std::size_t kernel, std::size_t machine,
                                      std::size_t config = 0,
                                      std::size_t geometry = 0,
-                                     std::size_t mode = 0) const;
-  /// %-reduction of (kernel, machine, config, geometry, mode) vs the
-  /// baseline machine at the same config, geometry, and mode. 0 when the
-  /// baseline machine is not part of the sweep.
+                                     std::size_t mode = 0,
+                                     std::size_t tenant = 0) const;
+  /// %-reduction of (kernel, machine, config, geometry, mode, tenant) vs
+  /// the baseline machine at the same config, geometry, mode, and tenant
+  /// count. 0 when the baseline machine is not part of the sweep.
   [[nodiscard]] double reduction(std::size_t kernel, std::size_t machine,
                                  std::size_t config = 0,
                                  std::size_t geometry = 0,
-                                 std::size_t mode = 0) const;
+                                 std::size_t mode = 0,
+                                 std::size_t tenant = 0) const;
   [[nodiscard]] SweepAggregate aggregate(std::size_t machine,
                                          std::size_t config = 0,
                                          std::size_t geometry = 0,
-                                         std::size_t mode = 0) const;
+                                         std::size_t mode = 0,
+                                         std::size_t tenant = 0) const;
 
   /// True iff the sweep explored a non-default geometry axis; the CSV/JSON
   /// emitters add the geometry column only in that case, so paper-default
@@ -147,6 +166,12 @@ struct SweepReport {
   /// True iff the sweep explored a non-default execution-mode axis; like
   /// the geometry column, the mode column appears only in that case.
   [[nodiscard]] bool has_mode_axis() const;
+
+  /// True iff the sweep explored a non-default tenant axis; the emitters
+  /// then add the tenants column plus the context-switch cost columns
+  /// (ctx_switches, ctx_switch_cycles), keeping single-tenant sweeps on
+  /// their historical schema.
+  [[nodiscard]] bool has_tenant_axis() const;
 
   /// Full grid as CSV (one row per cell) / JSON (meta + cell array).
   [[nodiscard]] std::string to_csv() const;

@@ -64,22 +64,26 @@ Result<void> check_mode_equivalence(const Suite& suite,
     for (std::size_t m = 0; m < report.machines.size(); ++m) {
       for (std::size_t c = 0; c < report.configs.size(); ++c) {
         for (std::size_t g = 0; g < report.geometries.size(); ++g) {
-          const harness::ExperimentResult& a = report.at(k, m, c, g, *iss);
-          const harness::ExperimentResult& b = report.at(k, m, c, g, *fast);
-          const bool equal =
-              a.stats.cycles == b.stats.cycles &&
-              a.stats.instructions == b.stats.instructions &&
-              a.stats.taken_control == b.stats.taken_control &&
-              a.stats.zolc_fetch_events == b.stats.zolc_fetch_events &&
-              a.zolc_stats == b.zolc_stats;
-          if (!equal) {
-            return Error{ErrorCode::kVerifyMismatch,
-                         report.kernels[k] + " on " +
-                             std::string(codegen::machine_name(
-                                 report.machines[m])) +
-                             ": iss and iss-fast cells disagree (fast path "
-                             "is not architecturally invisible)"}
-                .with_context("suite " + suite.name);
+          for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+            const harness::ExperimentResult& a =
+                report.at(k, m, c, g, *iss, t);
+            const harness::ExperimentResult& b =
+                report.at(k, m, c, g, *fast, t);
+            const bool equal =
+                a.stats.cycles == b.stats.cycles &&
+                a.stats.instructions == b.stats.instructions &&
+                a.stats.taken_control == b.stats.taken_control &&
+                a.stats.zolc_fetch_events == b.stats.zolc_fetch_events &&
+                a.zolc_stats == b.zolc_stats;
+            if (!equal) {
+              return Error{ErrorCode::kVerifyMismatch,
+                           report.kernels[k] + " on " +
+                               std::string(codegen::machine_name(
+                                   report.machines[m])) +
+                               ": iss and iss-fast cells disagree (fast path "
+                               "is not architecturally invisible)"}
+                  .with_context("suite " + suite.name);
+            }
           }
         }
       }
@@ -270,13 +274,22 @@ std::string bench_artifact_json(const SuiteOutcome& outcome) {
            json::escape(harness::config_name(report.configs[cell.config])) +
            "\", \"geometry\": \"" +
            report.geometries[cell.geometry].label() + "\", \"mode\": \"" +
-           std::string(harness::mode_name(report.modes[cell.mode])) +
-           "\", \"cycles\": " + std::to_string(r.stats.cycles) +
+           std::string(harness::mode_name(report.modes[cell.mode])) + "\", ";
+    if (report.has_tenant_axis()) {
+      // Multi-tenant material: the tenant count plus the modeled
+      // context-switch cost (reported alongside, never folded into,
+      // cycles; DESIGN.md section 9).
+      out += "\"tenants\": " + std::to_string(report.tenants[cell.tenant]) +
+             ", \"ctx_switches\": " + std::to_string(r.context_switches) +
+             ", \"ctx_switch_cycles\": " +
+             std::to_string(r.context_switch_cycles) + ", ";
+    }
+    out += "\"cycles\": " + std::to_string(r.stats.cycles) +
            ", \"instructions\": " + std::to_string(r.stats.instructions) +
            ", \"reduction_pct\": " +
            format_fixed(
                report.reduction(cell.kernel, cell.machine, cell.config,
-                                cell.geometry, cell.mode),
+                                cell.geometry, cell.mode, cell.tenant),
                4) +
            ", \"wall_ns\": " + std::to_string(r.wall_ns) +
            ", \"mips\": " + format_fixed(cell_mips(r), 2);

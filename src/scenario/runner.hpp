@@ -19,9 +19,11 @@ namespace zolcsim::scenario {
 /// Current BENCH artifact schema ("schema" field). v2 added the per-point
 /// "mode" field and the conditional "fastpath" counter object; v3 added
 /// the suite "warm_start" field, the compile-cache store_hits/compiles
-/// split, and the "prepares" counter object. `zolcsim bench --compare`
-/// still accepts v1/v2 artifacts (absent fields take their defaults).
-inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v3";
+/// split, and the "prepares" counter object; v4 added the per-point
+/// "tenants" / "ctx_switches" / "ctx_switch_cycles" fields for multi-tenant
+/// suites. `zolcsim bench --compare` still accepts v1/v2/v3 artifacts
+/// (absent fields take their defaults, tenants defaulting to 1).
+inline constexpr std::string_view kBenchSchema = "zolcsim-bench-v4";
 
 struct RunOptions {
   unsigned threads = 0;            ///< sweep worker count; 0 = hardware

@@ -72,7 +72,7 @@ Result<void> parse_sweep(const json::Value& sweep, Suite& suite,
                          std::string_view origin) {
   static constexpr std::string_view kKnown[] = {
       "kernels",    "machines", "configs",     "geometries", "modes",
-      "baseline",   "max_cycles", "env",       "timing_reps",
+      "tenants",    "baseline", "max_cycles",  "env",        "timing_reps",
       "warm_start"};
   for (const auto& [key, value] : sweep.members()) {
     (void)value;
@@ -136,6 +136,21 @@ Result<void> parse_sweep(const json::Value& sweep, Suite& suite,
                                                   std::string(origin));
     }
     suite.sweep.modes.push_back(mode.value());
+  }
+
+  if (const json::Value* tenants = sweep.find("tenants")) {
+    if (!tenants->is_array()) {
+      return shape_error(origin,
+                         "'tenants' must be an array of positive integers");
+    }
+    for (const json::Value& item : tenants->items()) {
+      const auto count = item.as_uint();
+      if (!count || *count == 0 || *count > 64) {
+        return config_error(origin,
+                            "'tenants' entries must be integers in [1, 64]");
+      }
+      suite.sweep.tenants.push_back(static_cast<unsigned>(*count));
+    }
   }
 
   if (const json::Value* baseline = sweep.find("baseline")) {

@@ -1,0 +1,113 @@
+// Full accelerator context: everything a ZolcController holds that is not
+// derivable from its construction parameters -- table images, live loop
+// indices, task position, the armed uZOLC register file, the activation
+// base, and the event counters. A context is the unit of multi-tenant
+// scheduling: save_context()/restore_context() move a suspended nest off and
+// back onto one shared controller, and the JSON codec round-trips contexts
+// through the same key/format/integrity discipline as the on-disk unit
+// store (DESIGN.md section 9 is the normative layout).
+#ifndef ZOLCSIM_ZOLC_CONTEXT_HPP
+#define ZOLCSIM_ZOLC_CONTEXT_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "zolc/config.hpp"
+#include "zolc/tables.hpp"
+
+namespace zolcsim::zolc {
+
+/// Event counters exposed for tests and the benchmark harness. Counters are
+/// part of the schedulable context: a restored run must report the same
+/// final statistics as an uninterrupted one.
+struct ZolcStats {
+  std::uint64_t continue_events = 0;  ///< hardware loop back-edges taken
+  std::uint64_t done_events = 0;      ///< loop completions (incl. cascades)
+  std::uint64_t cascade_chains = 0;   ///< events that resolved >1 boundary
+  std::uint64_t max_cascade_depth = 0;
+  std::uint64_t exit_matches = 0;     ///< candidate-exit record hits
+  std::uint64_t entry_matches = 0;    ///< entry record hits
+  std::uint64_t table_writes = 0;     ///< init-mode writes accepted
+
+  friend bool operator==(const ZolcStats&, const ZolcStats&) = default;
+};
+
+/// uZOLC register state (six 32-bit data registers plus control); shared by
+/// the controller's live state and the saved context.
+struct MicroLoopState {
+  std::int32_t initial = 0;
+  std::int32_t final = 0;
+  std::int32_t step = 0;
+  std::int32_t current = 0;
+  std::uint32_t start_pc = 0;
+  std::uint32_t end_pc = 0;
+  std::uint8_t index_rf = 0;
+  LoopCond cond = LoopCond::kLt;
+
+  friend bool operator==(const MicroLoopState&,
+                         const MicroLoopState&) = default;
+};
+
+/// A complete controller state image, sized by the geometry it was saved
+/// from. Restorable only onto a controller of the same variant and geometry
+/// (ErrorCode::kBadContext otherwise).
+struct ZolcContext {
+  /// Serialized-artifact format tag; bumped on any layout change so stale
+  /// artifacts are rejected, mirroring the unit store's version discipline.
+  static constexpr std::string_view kFormat = "zolcsim-context-v1";
+
+  ZolcVariant variant = ZolcVariant::kFull;
+  ZolcGeometry geometry;  ///< variant-restricted (for_variant applied)
+  std::vector<TaskEntry> tasks;
+  std::vector<std::uint16_t> task_start;
+  std::vector<LoopEntry> loops;  ///< includes the live `current` indices
+  std::vector<ExitRecord> exits;
+  std::vector<EntryRecord> entries;
+  MicroLoopState micro;
+  std::uint32_t base = 0;
+  std::uint8_t current_task = 0;
+  bool active = false;
+  ZolcStats stats;
+
+  friend bool operator==(const ZolcContext&, const ZolcContext&) = default;
+
+  /// Content-addressed identity key (FNV-1a 64 over variant, geometry, and
+  /// every state field) -- the unit-store key discipline applied to
+  /// contexts. Doubles as the serialized artifact's integrity digest.
+  [[nodiscard]] std::uint64_t key() const;
+
+  /// Deterministic field-wise JSON document (packed table words are wider
+  /// than a double's exact-integer range, so fields serialize individually).
+  /// from_json(to_json()).to_json() is byte-identical to to_json().
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parses and validates a serialized context. Failure modes: kParse
+  /// (malformed JSON), kStoreStale (format tag from another build),
+  /// kStoreCorrupt (shape or digest violations), kBadContext (fields
+  /// inconsistent with the declared geometry).
+  [[nodiscard]] static Result<ZolcContext> from_json(std::string_view text);
+};
+
+/// Modeled cost of one full context switch in init-bus words (the bus moves
+/// one 32-bit word per cycle, the same accounting as the paper's init
+/// overhead). Save transfers only live state -- the loop index copies, the
+/// uZOLC current register, and one position/status word; restore replays the
+/// full init sequence for every valid table entry plus the live state, so
+/// restore cost tracks the paper's per-kernel init overhead.
+struct ContextSwitchCost {
+  std::uint64_t save_words = 0;
+  std::uint64_t restore_words = 0;
+
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept {
+    return save_words + restore_words;
+  }
+};
+
+[[nodiscard]] ContextSwitchCost context_switch_cost(const ZolcContext& ctx);
+
+}  // namespace zolcsim::zolc
+
+#endif  // ZOLCSIM_ZOLC_CONTEXT_HPP

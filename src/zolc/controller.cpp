@@ -550,7 +550,18 @@ void ZolcController::credit_summary_events(std::uint64_t continues,
 }
 
 void ZolcController::restore(const cpu::AccelSnapshot& snapshot) {
-  ZS_EXPECTS(snapshot.loop_count == loops_.size());
+  if (auto restored = try_restore(snapshot); !restored.ok()) {
+    throw SimError(restored.error().to_string());
+  }
+}
+
+Result<void> ZolcController::try_restore(const cpu::AccelSnapshot& snapshot) {
+  if (snapshot.loop_count != loops_.size()) {
+    return Error{ErrorCode::kBadContext,
+                 "snapshot carries " + std::to_string(snapshot.loop_count) +
+                     " loops, geometry " + geom_.label() + " has " +
+                     std::to_string(loops_.size())};
+  }
   for (unsigned i = 0; i < loops_.size(); ++i) {
     loops_[i].current = snapshot.loop_current[i];
   }
@@ -558,6 +569,54 @@ void ZolcController::restore(const cpu::AccelSnapshot& snapshot) {
   current_task_ = snapshot.current_task;
   active_ = snapshot.active;
   refresh_trigger();
+  return {};
+}
+
+ZolcContext ZolcController::save_context() const {
+  ZolcContext ctx;
+  ctx.variant = variant_;
+  ctx.geometry = geom_;
+  ctx.tasks = tasks_;
+  ctx.task_start = task_start_;
+  ctx.loops = loops_;
+  ctx.exits = exits_;
+  ctx.entries = entries_;
+  ctx.micro = micro_;
+  ctx.base = base_;
+  ctx.current_task = current_task_;
+  ctx.active = active_;
+  ctx.stats = stats_;
+  return ctx;
+}
+
+Result<void> ZolcController::restore_context(const ZolcContext& context) {
+  if (context.variant != variant_ || !(context.geometry == geom_)) {
+    return Error{ErrorCode::kBadContext,
+                 "context for " + std::string(variant_name(context.variant)) +
+                     "/" + context.geometry.label() + " cannot restore onto " +
+                     std::string(variant_name(variant_)) + "/" + geom_.label()};
+  }
+  if (context.tasks.size() != tasks_.size() ||
+      context.task_start.size() != task_start_.size() ||
+      context.loops.size() != loops_.size() ||
+      context.exits.size() != exits_.size() ||
+      context.entries.size() != entries_.size()) {
+    return Error{ErrorCode::kBadContext,
+                 "context table sizes do not match geometry " + geom_.label()};
+  }
+  tasks_ = context.tasks;
+  task_start_ = context.task_start;
+  loops_ = context.loops;
+  exits_ = context.exits;
+  entries_ = context.entries;
+  micro_ = context.micro;
+  base_ = context.base;
+  current_task_ = context.current_task;
+  active_ = context.active;
+  stats_ = context.stats;
+  nest_dirty_ = true;  // the export resolves table offsets against base_
+  refresh_trigger();
+  return {};
 }
 
 std::string ZolcController::describe() const {

@@ -24,24 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hpp"
 #include "cpu/accel.hpp"
 #include "zolc/config.hpp"
+#include "zolc/context.hpp"
 #include "zolc/tables.hpp"
 
 namespace zolcsim::zolc {
-
-/// Event counters exposed for tests and the benchmark harness.
-struct ZolcStats {
-  std::uint64_t continue_events = 0;  ///< hardware loop back-edges taken
-  std::uint64_t done_events = 0;      ///< loop completions (incl. cascades)
-  std::uint64_t cascade_chains = 0;   ///< events that resolved >1 boundary
-  std::uint64_t max_cascade_depth = 0;
-  std::uint64_t exit_matches = 0;     ///< candidate-exit record hits
-  std::uint64_t entry_matches = 0;    ///< entry record hits
-  std::uint64_t table_writes = 0;     ///< init-mode writes accepted
-
-  friend bool operator==(const ZolcStats&, const ZolcStats&) = default;
-};
 
 class ZolcController final : public cpu::LoopAccelerator {
  public:
@@ -71,6 +60,24 @@ class ZolcController final : public cpu::LoopAccelerator {
 
   /// Clears all tables and state back to power-on.
   void reset();
+
+  // ---- full context switching (DESIGN.md section 9) ----
+
+  /// Captures the complete controller state: table images, live loop
+  /// indices, task position, uZOLC registers, activation base, and event
+  /// counters. The counters travel with the context so a resumed run
+  /// reports the same final statistics as an uninterrupted one.
+  [[nodiscard]] ZolcContext save_context() const;
+
+  /// Restores a context captured from a controller of the same variant and
+  /// geometry; kBadContext otherwise, with this controller untouched.
+  [[nodiscard]] Result<void> restore_context(const ZolcContext& context);
+
+  /// Typed restore of the CPU-side loop-index snapshot: kBadContext when
+  /// the snapshot's loop count does not match the active geometry (this
+  /// controller untouched), instead of the untyped contract failure the
+  /// virtual restore() surface turns it into.
+  [[nodiscard]] Result<void> try_restore(const cpu::AccelSnapshot& snapshot);
 
   // ---- cpu::LoopAccelerator ----
   void init_write(isa::Opcode op, std::uint8_t idx,
@@ -123,17 +130,7 @@ class ZolcController final : public cpu::LoopAccelerator {
   std::uint32_t base_ = 0;
 
   // uZOLC storage (six 32-bit + control registers).
-  struct MicroState {
-    std::int32_t initial = 0;
-    std::int32_t final = 0;
-    std::int32_t step = 0;
-    std::int32_t current = 0;
-    std::uint32_t start_pc = 0;
-    std::uint32_t end_pc = 0;
-    std::uint8_t index_rf = 0;
-    LoopCond cond = LoopCond::kLt;
-  };
-  MicroState micro_;
+  MicroLoopState micro_;
 
   std::uint8_t current_task_ = 0;
   bool active_ = false;

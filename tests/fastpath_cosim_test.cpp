@@ -15,6 +15,7 @@
 
 #include "cpu/iss.hpp"
 #include "flow/compiled_unit.hpp"
+#include "flow/scheduler.hpp"
 #include "flow/workload.hpp"
 #include "kernels/kernels.hpp"
 #include "sim_test_util.hpp"
@@ -225,8 +226,41 @@ BailoutRun run_iss_tier(const std::vector<Instruction>& prog,
                     controller.zolc_stats(), controller.active()};
 }
 
+/// The fast tier preempted every `quantum` instructions: the controller's
+/// full context is saved, the controller clobbered with reset(), and the
+/// context restored (alternating the JSON codec round-trip) before the next
+/// slice -- flow::preempt_cycle, DESIGN.md section 9.
+BailoutRun run_fast_tier_preempted(const std::vector<Instruction>& prog,
+                                   ZolcVariant variant,
+                                   std::uint64_t min_backedges,
+                                   std::uint64_t quantum,
+                                   const std::vector<std::uint32_t>& data = {},
+                                   std::uint32_t data_base = 0x4000) {
+  mem::Memory memory;
+  test::load_program(memory, kBase, prog);
+  if (!data.empty()) memory.load_words(data_base, data);
+  ZolcController controller(variant);
+  cpu::Iss iss(memory);
+  iss.set_accelerator(&controller);
+  iss.set_fast_path(true);
+  iss.summarizer().set_min_backedges(min_backedges);
+  iss.set_pc(kBase);
+  bool serialize = false;
+  while (!iss.halted()) {
+    iss.run_slice(quantum);
+    if (iss.halted()) break;
+    flow::preempt_cycle(controller, serialize);
+    serialize = !serialize;
+  }
+  return BailoutRun{iss.stats(), iss.regs(), iss.fastpath_stats(),
+                    controller.zolc_stats(), controller.active()};
+}
+
 /// Runs `prog` under both tiers, requires architectural equality, and
-/// returns the fast tier's run for bailout-counter assertions.
+/// returns the fast tier's run for bailout-counter assertions. A third run
+/// preempts the fast tier mid-replay (save/clobber/restore every 13
+/// instructions) and demands the typed bailout still fires while counters
+/// and architectural state stay identical to the baseline.
 BailoutRun expect_bailout_cosim(const std::vector<Instruction>& prog,
                                 ZolcVariant variant, BailoutReason reason,
                                 std::uint64_t min_backedges = 2,
@@ -244,6 +278,19 @@ BailoutRun expect_bailout_cosim(const std::vector<Instruction>& prog,
   EXPECT_EQ(fast.controller_active, base.controller_active);
   EXPECT_GE(fast.fastpath.bailout(reason), 1u)
       << "expected at least one " << cpu::bailout_reason_name(reason);
+
+  const BailoutRun preempted = run_fast_tier_preempted(
+      prog, variant, min_backedges, /*quantum=*/13, data);
+  EXPECT_TRUE(preempted.regs == base.regs)
+      << "bailout " << cpu::bailout_reason_name(reason)
+      << " diverged under mid-replay save/restore";
+  EXPECT_EQ(preempted.stats.instructions, base.stats.instructions);
+  EXPECT_EQ(preempted.stats.zolc_fetch_events, base.stats.zolc_fetch_events);
+  EXPECT_TRUE(preempted.zolc_stats == base.zolc_stats);
+  EXPECT_EQ(preempted.controller_active, base.controller_active);
+  EXPECT_GE(preempted.fastpath.bailout(reason), 1u)
+      << "expected " << cpu::bailout_reason_name(reason)
+      << " to survive save/restore mid-replay";
   return fast;
 }
 
@@ -380,7 +427,7 @@ TEST(FastPathBailouts, MisalignedAccessBailsThenTrapsPrecisely) {
   prog.push_back(b::nop());          // 21: task end
   prog.push_back(b::halt());
 
-  const auto run_to_fault = [&](bool fast) {
+  const auto run_to_fault = [&](bool fast, bool preempt) {
     mem::Memory memory;
     test::load_program(memory, kBase, prog);
     const std::vector<std::uint32_t> data = {11, 22, 33};
@@ -390,12 +437,26 @@ TEST(FastPathBailouts, MisalignedAccessBailsThenTrapsPrecisely) {
     iss.set_accelerator(&controller);
     iss.set_fast_path(fast);
     iss.set_pc(kBase);
-    EXPECT_THROW(iss.run(2'000'000), mem::MemoryFault);
+    if (preempt) {
+      bool serialize = false;
+      EXPECT_THROW(
+          {
+            while (!iss.halted()) {
+              iss.run_slice(13);
+              if (iss.halted()) break;
+              flow::preempt_cycle(controller, serialize);
+              serialize = !serialize;
+            }
+          },
+          mem::MemoryFault);
+    } else {
+      EXPECT_THROW(iss.run(2'000'000), mem::MemoryFault);
+    }
     return BailoutRun{iss.stats(), iss.regs(), iss.fastpath_stats(),
                       controller.zolc_stats(), controller.active()};
   };
-  const BailoutRun base = run_to_fault(false);
-  const BailoutRun fast = run_to_fault(true);
+  const BailoutRun base = run_to_fault(false, false);
+  const BailoutRun fast = run_to_fault(true, false);
   // Both tiers stop at the same architectural point: r7 misaligned, the
   // first element still in r6, the fault instruction not retired.
   EXPECT_TRUE(fast.regs == base.regs);
@@ -403,6 +464,11 @@ TEST(FastPathBailouts, MisalignedAccessBailsThenTrapsPrecisely) {
   EXPECT_GE(fast.fastpath.bailout(BailoutReason::kTrap), 1u);
   EXPECT_EQ(fast.regs.read_u(7), 0x4002u);
   EXPECT_EQ(fast.regs.read(6), 11);
+  // Save/clobber/restore mid-replay must not move the fault point.
+  const BailoutRun preempted = run_to_fault(true, true);
+  EXPECT_TRUE(preempted.regs == base.regs);
+  EXPECT_EQ(preempted.stats.instructions, base.stats.instructions);
+  EXPECT_GE(preempted.fastpath.bailout(BailoutReason::kTrap), 1u);
 }
 
 TEST(FastPathBailouts, StoreIntoSummarizedCodeDeclines) {

@@ -56,12 +56,19 @@ commands:
       --fast-path           ISS loop-summary fast path (implies --engine=iss)
       --max-cycles=N        cycle budget          (default 200000000)
       --no-predecode        fetch/decode from memory every cycle
+      --preempt-every=N     ISS only: save/clobber/restore the full ZOLC
+                            context every N instructions (differential knob)
+      --preempt-serialize   round-trip each saved context through JSON
+      --tenants=N           time-slice N copies of the workload over one
+                            controller (ISS only; reports switch cost)
   sweep                     kernel x machine x config x geometry x mode grid
       --kernels=a,b,...     default: the 12-kernel paper suite
       --machines=a,b,...    default: all five machines
       --configs=a,b,...     default: EX-resolve/rollback
       --geometries=a,b,...  default: the paper prototype geometry
       --modes=a,b,...       pipeline|iss|iss-fast (default pipeline)
+      --tenants=a,b,...     tenant-count axis     (default 1; ISS modes only)
+      --preempt-every=N --preempt-serialize
       --baseline=NAME       reduction baseline    (default XRdefault)
       --max-cycles=N --threads=N
       --store-dir=DIR       on-disk unit store: reload compiled units from
@@ -290,8 +297,10 @@ int cmd_compile(const cli::Args& args) {
 
 int cmd_run(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
-          args, {"machine", "geometry", "config", "engine", "max-cycles"},
-          {"no-predecode", "fast-path"})) {
+          args,
+          {"machine", "geometry", "config", "engine", "max-cycles",
+           "preempt-every", "tenants"},
+          {"no-predecode", "fast-path", "preempt-serialize"})) {
     return rc;
   }
   UnitRequest request;
@@ -325,6 +334,18 @@ int cmd_run(const cli::Args& args) {
   if (const auto cycles = positive_int_flag(args, "max-cycles", rc)) {
     plan.max_cycles = *cycles;
   }
+  if (const auto every = positive_int_flag(args, "preempt-every", rc)) {
+    plan.preempt_every = *every;
+  }
+  if (const auto tenants = positive_int_flag(args, "tenants", rc, 64)) {
+    plan.tenants = static_cast<unsigned>(*tenants);
+  }
+  plan.preempt_serialize = args.has("preempt-serialize");
+  if ((plan.preempt_every != 0 || plan.tenants != 1) &&
+      plan.mode.engine != harness::SimEngine::kIss) {
+    return usage_error(
+        "--preempt-every/--tenants require --engine=iss or --fast-path");
+  }
   if (rc != 0) return rc;
   plan.predecode = !args.has("no-predecode");
 
@@ -355,6 +376,13 @@ int cmd_run(const cli::Args& args) {
         static_cast<unsigned long long>(r.fastpath.attempts),
         static_cast<unsigned long long>(r.fastpath.replayed_instructions),
         static_cast<unsigned long long>(r.fastpath.total_bailouts()));
+  }
+  if (plan.tenants != 1 || plan.preempt_every != 0) {
+    std::printf(
+        "  tenants           %u\n  ctx switches      %llu\n"
+        "  ctx switch cost   %llu cycle(s)\n",
+        r.tenants, static_cast<unsigned long long>(r.context_switches),
+        static_cast<unsigned long long>(r.context_switch_cycles));
   }
   return 0;
 }
@@ -392,9 +420,9 @@ int cmd_sweep(const cli::Args& args) {
   if (const int rc = reject_unknown_flags(
           args,
           {"kernels", "machines", "configs", "geometries", "modes",
-           "baseline", "max-cycles", "threads", "format", "out", "from-file",
-           "store-dir"},
-          {})) {
+           "tenants", "preempt-every", "baseline", "max-cycles", "threads",
+           "format", "out", "from-file", "store-dir"},
+          {"preempt-serialize"})) {
     return rc;
   }
   if (!args.positional.empty()) {
@@ -405,8 +433,8 @@ int cmd_sweep(const cli::Args& args) {
   if (const auto suite_path = nonempty_value(args, "from-file", rc)) {
     // Suite mode: the file is the grid; only execution/output flags apply.
     for (const std::string_view grid_flag :
-         {"kernels", "machines", "configs", "geometries", "modes",
-          "baseline", "max-cycles"}) {
+         {"kernels", "machines", "configs", "geometries", "modes", "tenants",
+          "preempt-every", "baseline", "max-cycles"}) {
       if (args.value_of(grid_flag)) {
         return usage_error("--" + std::string(grid_flag) +
                            " conflicts with --from-file (the suite file "
@@ -469,6 +497,20 @@ int cmd_sweep(const cli::Args& args) {
       spec.modes.push_back(mode.value());
     }
   }
+  if (const auto tenants = nonempty_value(args, "tenants", rc)) {
+    for (const std::string& name : cli::split_list(*tenants)) {
+      const auto n = parse_int(name);
+      if (!n || *n <= 0 || *n > 64) {
+        return usage_error("bad --tenants entry '" + name +
+                           "' (want integers in [1, 64])");
+      }
+      spec.tenants.push_back(static_cast<unsigned>(*n));
+    }
+  }
+  if (const auto every = positive_int_flag(args, "preempt-every", rc)) {
+    spec.preempt_every = *every;
+  }
+  spec.preempt_serialize = args.has("preempt-serialize");
   if (const auto baseline = nonempty_value(args, "baseline", rc)) {
     auto machine = cli::parse_machine(*baseline);
     if (!machine.ok()) return bad_flag_value(machine.error());
@@ -502,13 +544,14 @@ int cmd_sweep(const cli::Args& args) {
 
 /// One data point of a BENCH artifact, keyed for cross-artifact matching.
 struct BenchPoint {
-  std::string key;  ///< "kernel|machine|config|geometry|mode"
+  std::string key;  ///< "kernel|machine|config|geometry|mode|tenants"
   std::uint64_t cycles = 0;
   double mips = 0.0;
 };
 
 /// Loads the points of one BENCH_*.json artifact. Accepts schema v1 (no
-/// per-point mode; defaults to "pipeline"), v2, and v3.
+/// per-point mode; defaults to "pipeline"), v2, v3 (no per-point tenants;
+/// defaults to 1), and v4.
 Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -525,6 +568,7 @@ Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
   if (schema == nullptr || !schema->is_string() ||
       (schema->as_string() != "zolcsim-bench-v1" &&
        schema->as_string() != "zolcsim-bench-v2" &&
+       schema->as_string() != "zolcsim-bench-v3" &&
        schema->as_string() != std::string(scenario::kBenchSchema))) {
     return Error{ErrorCode::kParse,
                  "'" + path + "' is not a zolcsim BENCH artifact"};
@@ -555,6 +599,17 @@ Result<std::vector<BenchPoint>> load_bench_points(const std::string& path) {
       p.key += mode->as_string();
     } else {
       p.key += "pipeline";  // schema v1 predates the mode axis
+    }
+    p.key += '|';
+    if (const json::Value* tenants = point.find("tenants")) {
+      const auto count = tenants->as_uint();
+      if (!count) {
+        return Error{ErrorCode::kParse,
+                     "'" + path + "' point has a non-integer 'tenants'"};
+      }
+      p.key += std::to_string(*count);
+    } else {
+      p.key += '1';  // schemas before v4 predate the tenant axis
     }
     const json::Value* cycles = point.find("cycles");
     const auto n = cycles ? cycles->as_uint() : std::nullopt;
