@@ -52,7 +52,8 @@ inline std::uint64_t insert_bits64(std::uint64_t value, unsigned lsb,
 }
 
 /// Sign-extends the low `width` bits of `value` to a signed 32-bit integer.
-constexpr std::int32_t sign_extend(std::uint32_t value, unsigned width) noexcept {
+constexpr std::int32_t sign_extend(std::uint32_t value,
+                                   unsigned width) noexcept {
   const std::uint32_t m = mask32(width);
   const std::uint32_t v = value & m;
   const std::uint32_t sign_bit = 1u << (width - 1);

@@ -1,7 +1,9 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cstdlib>
+#include <system_error>
 
 #include "common/contracts.hpp"
 
@@ -306,6 +308,75 @@ std::string escape(std::string_view s) {
         break;
     }
   }
+  return out;
+}
+
+namespace {
+
+void serialize_into(const Value& value, std::string& out) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber: {
+      const double n = value.as_number();
+      // Integral doubles within the 53-bit exact window print as integers
+      // (the form every count in the repo's documents uses); everything
+      // else takes the shortest round-trip form from to_chars.
+      constexpr double kExactMax = 9007199254740992.0;  // 2^53
+      if (n == static_cast<double>(static_cast<std::int64_t>(n)) &&
+          n >= -kExactMax && n <= kExactMax) {
+        out += std::to_string(static_cast<std::int64_t>(n));
+        break;
+      }
+      char buffer[64];
+      const auto [end, ec] =
+          std::to_chars(buffer, buffer + sizeof(buffer), n);
+      ZS_ASSERT(ec == std::errc());
+      out.append(buffer, end);
+      break;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(value.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : value.items()) {
+        if (!first) out += ',';
+        first = false;
+        serialize_into(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const Value::Member& member : value.members()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(member.first);
+        out += "\":";
+        serialize_into(member.second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string serialize(const Value& value) {
+  std::string out;
+  serialize_into(value, out);
   return out;
 }
 

@@ -80,6 +80,14 @@ class Value {
 /// Escapes `s` for embedding inside a JSON string literal (no quotes added).
 [[nodiscard]] std::string escape(std::string_view s);
 
+/// Renders `value` back to compact JSON text (no whitespace). Deterministic:
+/// member order is preserved, integral numbers print without a fraction, and
+/// non-integral numbers use the shortest form that parses back to the same
+/// double -- so parse(serialize(v)) reproduces v exactly. Used wherever a
+/// parsed sub-document must be handed to another parser (the serve
+/// protocol's inline suite objects).
+[[nodiscard]] std::string serialize(const Value& value);
+
 }  // namespace zolcsim::json
 
 #endif  // ZOLCSIM_COMMON_JSON_HPP

@@ -11,16 +11,18 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 constexpr const char* level_tag(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo:  return "INFO ";
-    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
     case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff:   return "OFF  ";
+    case LogLevel::kOff: return "OFF  ";
   }
   return "?";
 }
 }  // namespace
 
-LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void set_log_level(LogLevel level) noexcept {
   g_level.store(level, std::memory_order_relaxed);

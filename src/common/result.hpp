@@ -61,27 +61,27 @@ enum class ErrorCode : std::uint8_t {
 [[nodiscard]] constexpr std::string_view error_code_name(
     ErrorCode code) noexcept {
   switch (code) {
-    case ErrorCode::kUnknown:        return "unknown";
-    case ErrorCode::kParse:          return "parse";
-    case ErrorCode::kEncode:         return "encode";
-    case ErrorCode::kBadConfig:      return "bad-config";
-    case ErrorCode::kUnknownKernel:  return "unknown-kernel";
-    case ErrorCode::kInvalidKernel:  return "invalid-kernel";
-    case ErrorCode::kCapacity:       return "capacity";
-    case ErrorCode::kSimulation:     return "simulation";
+    case ErrorCode::kUnknown: return "unknown";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kEncode: return "encode";
+    case ErrorCode::kBadConfig: return "bad-config";
+    case ErrorCode::kUnknownKernel: return "unknown-kernel";
+    case ErrorCode::kInvalidKernel: return "invalid-kernel";
+    case ErrorCode::kCapacity: return "capacity";
+    case ErrorCode::kSimulation: return "simulation";
     case ErrorCode::kVerifyMismatch: return "verify-mismatch";
-    case ErrorCode::kIo:             return "io";
-    case ErrorCode::kThreshold:      return "threshold";
-    case ErrorCode::kScanNotInnermost:     return "scan-not-innermost";
-    case ErrorCode::kScanIrregularShape:   return "scan-irregular-shape";
-    case ErrorCode::kScanMultiExit:        return "scan-multi-exit";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kThreshold: return "threshold";
+    case ErrorCode::kScanNotInnermost: return "scan-not-innermost";
+    case ErrorCode::kScanIrregularShape: return "scan-irregular-shape";
+    case ErrorCode::kScanMultiExit: return "scan-multi-exit";
     case ErrorCode::kScanNonConstantBound: return "scan-non-constant-bound";
-    case ErrorCode::kScanUnsafeBody:       return "scan-unsafe-body";
-    case ErrorCode::kScanTailTargeted:     return "scan-tail-targeted";
-    case ErrorCode::kScanLiveIndex:        return "scan-live-index";
-    case ErrorCode::kStoreCorrupt:         return "store-corrupt";
-    case ErrorCode::kStoreStale:           return "store-stale";
-    case ErrorCode::kBadContext:           return "bad-context";
+    case ErrorCode::kScanUnsafeBody: return "scan-unsafe-body";
+    case ErrorCode::kScanTailTargeted: return "scan-tail-targeted";
+    case ErrorCode::kScanLiveIndex: return "scan-live-index";
+    case ErrorCode::kStoreCorrupt: return "store-corrupt";
+    case ErrorCode::kStoreStale: return "store-stale";
+    case ErrorCode::kBadContext: return "bad-context";
   }
   return "?";
 }
@@ -157,8 +157,10 @@ class [[nodiscard]] Result {
 
   // Intentionally implicit so `return value;` and `return error;` both work
   // at call sites (mirrors std::expected).
-  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
-  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}
 
   [[nodiscard]] bool ok() const noexcept {
     return std::holds_alternative<T>(data_);

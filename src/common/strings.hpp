@@ -17,17 +17,20 @@ namespace zolcsim {
 [[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
 
 /// Splits `s` into non-empty whitespace-separated tokens.
-[[nodiscard]] std::vector<std::string_view> split_whitespace(std::string_view s);
+[[nodiscard]] std::vector<std::string_view> split_whitespace(
+    std::string_view s);
 
 /// Lowercases ASCII characters.
 [[nodiscard]] std::string to_lower(std::string_view s);
 
 /// True iff `s` starts with `prefix`.
-[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
 
 /// Parses a signed integer. Accepts decimal, 0x-hex, 0b-binary, and a leading
 /// '-'. Returns nullopt on any malformed input or overflow past 64 bits.
-[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s) noexcept;
+[[nodiscard]] std::optional<std::int64_t> parse_int(
+    std::string_view s) noexcept;
 
 /// Formats `value` as 0xXXXXXXXX (8 hex digits).
 [[nodiscard]] std::string hex32(std::uint32_t value);

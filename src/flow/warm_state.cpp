@@ -1,0 +1,12 @@
+#include "flow/warm_state.hpp"
+
+namespace zolcsim::flow {
+
+WarmState::WarmState(const std::string& store_dir) {
+  if (!store_dir.empty()) {
+    store_.emplace(store_dir);
+    cache_.attach_store(&*store_);
+  }
+}
+
+}  // namespace zolcsim::flow

@@ -302,7 +302,8 @@ std::string bench_artifact_json(const SuiteOutcome& outcome) {
              ", \"replayed_instructions\": " +
              std::to_string(r.fastpath.replayed_instructions) +
              ", \"replayed_backedges\": " +
-             std::to_string(r.fastpath.replayed_backedges) + ", \"bailouts\": {";
+             std::to_string(r.fastpath.replayed_backedges) +
+             ", \"bailouts\": {";
       bool first_bail = true;
       for (std::size_t b = 0; b < cpu::kNumBailoutReasons; ++b) {
         if (r.fastpath.bailouts[b] == 0) continue;

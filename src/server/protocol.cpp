@@ -1,0 +1,388 @@
+#include "server/protocol.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "scenario/parse.hpp"
+
+namespace zolcsim::server {
+
+namespace {
+
+Error shape_error(std::string msg) {
+  return Error{ErrorCode::kParse, std::move(msg)}.with_context(
+      "serve request");
+}
+
+Error config_error(std::string msg) {
+  return Error{ErrorCode::kBadConfig, std::move(msg)}.with_context(
+      "serve request");
+}
+
+std::string member_error(std::string_view key, std::string_view what) {
+  std::string msg = "'";
+  msg += key;
+  msg += "' must be ";
+  msg += what;
+  return msg;
+}
+
+/// Member as a string; nullopt when absent, error when the wrong kind.
+Result<std::optional<std::string>> string_member(const json::Value& object,
+                                                 std::string_view key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return std::optional<std::string>{};
+  if (!member->is_string()) {
+    return shape_error(member_error(key, "a string"));
+  }
+  return std::optional<std::string>{member->as_string()};
+}
+
+/// Member as a strictly positive integer; nullopt when absent.
+Result<std::optional<std::uint64_t>> positive_member(
+    const json::Value& object, std::string_view key) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return std::optional<std::uint64_t>{};
+  const auto n = member->as_uint();
+  if (!n || *n == 0) {
+    return shape_error(member_error(key, "a positive integer"));
+  }
+  return std::optional<std::uint64_t>{*n};
+}
+
+/// Member as a bool with a default.
+Result<bool> bool_member(const json::Value& object, std::string_view key,
+                         bool fallback) {
+  const json::Value* member = object.find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_bool()) {
+    return shape_error(member_error(key, "a boolean"));
+  }
+  return member->as_bool();
+}
+
+/// Strict schema: every member of `object` must appear in `allowed`.
+Result<void> reject_unknown_members(
+    const json::Value& object, const std::vector<std::string_view>& allowed) {
+  for (const json::Value::Member& member : object.members()) {
+    bool known = false;
+    for (const std::string_view name : allowed) {
+      if (member.first == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return shape_error("unknown request member '" + member.first + "'");
+    }
+  }
+  return {};
+}
+
+/// Fills spec.machine / spec.geometry from the optional request members
+/// (defaults: ZOLCfull on the paper geometry, matching the CLI verbs).
+Result<void> parse_unit_members(const json::Value& root,
+                                flow::CompileSpec& spec) {
+  auto kernel = string_member(root, "kernel");
+  if (!kernel.ok()) return std::move(kernel).error();
+  if (!kernel.value() || kernel.value()->empty()) {
+    return shape_error("a 'kernel' member is required");
+  }
+  spec.kernel = *kernel.value();
+  spec.machine = codegen::MachineKind::kZolcFull;
+  auto machine = string_member(root, "machine");
+  if (!machine.ok()) return std::move(machine).error();
+  if (machine.value()) {
+    auto parsed = scenario::parse_machine(*machine.value());
+    if (!parsed.ok()) {
+      return std::move(parsed).error().with_context("serve request");
+    }
+    spec.machine = parsed.value();
+  }
+  auto geometry = string_member(root, "geometry");
+  if (!geometry.ok()) return std::move(geometry).error();
+  if (geometry.value()) {
+    auto parsed = scenario::parse_geometry(*geometry.value());
+    if (!parsed.ok()) {
+      return std::move(parsed).error().with_context("serve request");
+    }
+    spec.geometry = parsed.value();
+  }
+  return {};
+}
+
+/// The run-plan members of a "run" request (config / mode / budgets /
+/// preemption / tenants), validated with the shared axis parsers.
+Result<void> parse_plan_members(const json::Value& root,
+                                flow::RunPlan& plan) {
+  auto config = string_member(root, "config");
+  if (!config.ok()) return std::move(config).error();
+  if (config.value()) {
+    auto parsed = scenario::parse_config(*config.value());
+    if (!parsed.ok()) {
+      return std::move(parsed).error().with_context("serve request");
+    }
+    plan.config = parsed.value();
+  }
+  auto mode = string_member(root, "mode");
+  if (!mode.ok()) return std::move(mode).error();
+  if (mode.value()) {
+    auto parsed = scenario::parse_mode(*mode.value());
+    if (!parsed.ok()) {
+      return std::move(parsed).error().with_context("serve request");
+    }
+    plan.mode = parsed.value();
+  }
+  auto cycles = positive_member(root, "max_cycles");
+  if (!cycles.ok()) return std::move(cycles).error();
+  if (cycles.value()) plan.max_cycles = *cycles.value();
+  auto tenants = positive_member(root, "tenants");
+  if (!tenants.ok()) return std::move(tenants).error();
+  if (tenants.value()) {
+    if (*tenants.value() > 64) {
+      return config_error("'tenants' must be in [1, 64]");
+    }
+    plan.tenants = static_cast<unsigned>(*tenants.value());
+  }
+  auto every = positive_member(root, "preempt_every");
+  if (!every.ok()) return std::move(every).error();
+  if (every.value()) plan.preempt_every = *every.value();
+  auto serialize = bool_member(root, "preempt_serialize", false);
+  if (!serialize.ok()) return std::move(serialize).error();
+  plan.preempt_serialize = serialize.value();
+  auto predecode = bool_member(root, "predecode", true);
+  if (!predecode.ok()) return std::move(predecode).error();
+  plan.predecode = predecode.value();
+  return {};
+}
+
+}  // namespace
+
+std::string_view request_type_name(RequestType type) {
+  switch (type) {
+    case RequestType::kPing: return "ping";
+    case RequestType::kCompile: return "compile";
+    case RequestType::kRun: return "run";
+    case RequestType::kSweep: return "sweep";
+    case RequestType::kBenchSuite: return "bench-suite";
+    case RequestType::kStoreStat: return "store-stat";
+    case RequestType::kStats: return "stats";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+Result<Request> parse_request(std::string_view payload) {
+  auto document = json::parse(payload);
+  if (!document.ok()) {
+    return std::move(document).error().with_context("serve request");
+  }
+  const json::Value& root = document.value();
+  if (!root.is_object()) {
+    return shape_error("request must be a JSON object");
+  }
+  const json::Value* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return shape_error("a string 'schema' member is required");
+  }
+  if (schema->as_string() != kServeSchema) {
+    return shape_error("unsupported schema '" + schema->as_string() +
+                       "' (this daemon speaks " + std::string(kServeSchema) +
+                       ")");
+  }
+  const json::Value* type_v = root.find("type");
+  if (type_v == nullptr || !type_v->is_string()) {
+    return shape_error("a string 'type' member is required");
+  }
+  const std::string& name = type_v->as_string();
+
+  Request request;
+  bool known_type = false;
+  for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+    const auto type = static_cast<RequestType>(i);
+    if (request_type_name(type) == name) {
+      request.type = type;
+      known_type = true;
+      break;
+    }
+  }
+  if (!known_type) {
+    return config_error("unknown request type '" + name + "'");
+  }
+
+  switch (request.type) {
+    case RequestType::kPing:
+    case RequestType::kStoreStat:
+    case RequestType::kStats:
+    case RequestType::kShutdown: {
+      if (auto strict = reject_unknown_members(root, {"schema", "type"});
+          !strict.ok()) {
+        return std::move(strict).error();
+      }
+      break;
+    }
+    case RequestType::kCompile: {
+      if (auto strict = reject_unknown_members(
+              root, {"schema", "type", "kernel", "machine", "geometry"});
+          !strict.ok()) {
+        return std::move(strict).error();
+      }
+      if (auto unit = parse_unit_members(root, request.spec); !unit.ok()) {
+        return std::move(unit).error();
+      }
+      break;
+    }
+    case RequestType::kRun: {
+      if (auto strict = reject_unknown_members(
+              root, {"schema", "type", "kernel", "machine", "geometry",
+                     "config", "mode", "max_cycles", "tenants",
+                     "preempt_every", "preempt_serialize", "predecode"});
+          !strict.ok()) {
+        return std::move(strict).error();
+      }
+      if (auto unit = parse_unit_members(root, request.spec); !unit.ok()) {
+        return std::move(unit).error();
+      }
+      if (auto plan = parse_plan_members(root, request.plan); !plan.ok()) {
+        return std::move(plan).error();
+      }
+      break;
+    }
+    case RequestType::kSweep:
+    case RequestType::kBenchSuite: {
+      const bool sweep = request.type == RequestType::kSweep;
+      if (auto strict = reject_unknown_members(
+              root, sweep ? std::vector<std::string_view>{"schema", "type",
+                                                          "suite", "format"}
+                          : std::vector<std::string_view>{"schema", "type",
+                                                          "suite"});
+          !strict.ok()) {
+        return std::move(strict).error();
+      }
+      const json::Value* suite = root.find("suite");
+      if (suite == nullptr || !suite->is_object()) {
+        return shape_error("a 'suite' object member is required");
+      }
+      request.suite_text = json::serialize(*suite);
+      if (sweep) {
+        auto format = string_member(root, "format");
+        if (!format.ok()) return std::move(format).error();
+        if (format.value()) {
+          if (*format.value() != "csv" && *format.value() != "json") {
+            return config_error("bad 'format' value '" + *format.value() +
+                                "' (csv or json)");
+          }
+          request.json_format = *format.value() == "json";
+        }
+      }
+      break;
+    }
+  }
+  return request;
+}
+
+std::string encode_frame(std::string_view payload) {
+  ZS_EXPECTS(payload.size() <= kMaxFrameBytes);
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+std::uint32_t decode_frame_length(const unsigned char* header) {
+  return (static_cast<std::uint32_t>(header[0]) << 24) |
+         (static_cast<std::uint32_t>(header[1]) << 16) |
+         (static_cast<std::uint32_t>(header[2]) << 8) |
+         static_cast<std::uint32_t>(header[3]);
+}
+
+std::string error_reply(const Error& error) {
+  std::string out = "{\"schema\": \"";
+  out += kServeSchema;
+  out += "\", \"reply\": \"error\", \"code\": \"";
+  out += error_code_name(error.code);
+  out += "\", \"message\": \"";
+  out += json::escape(error.message);
+  out += "\", \"context\": [";
+  bool first = true;
+  for (const std::string& frame : error.context) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += json::escape(frame);
+    out += '"';
+  }
+  out += "]}";
+  return out;
+}
+
+Result<json::Value> parse_reply(std::string_view payload) {
+  auto document = json::parse(payload);
+  if (!document.ok()) {
+    return std::move(document).error().with_context("serve reply");
+  }
+  const json::Value& root = document.value();
+  const json::Value* reply = root.find("reply");
+  if (reply == nullptr || !reply->is_string()) {
+    return Error{ErrorCode::kParse,
+                 "reply lacks a string 'reply' member"}
+        .with_context("serve reply");
+  }
+  if (reply->as_string() == "error") {
+    // Reconstitute the server-side Error so callers branch on the code
+    // exactly as they would on a local failure.
+    Error error;
+    error.code = ErrorCode::kUnknown;
+    if (const json::Value* code = root.find("code");
+        code != nullptr && code->is_string()) {
+      error.code = parse_error_code(code->as_string());
+    }
+    if (const json::Value* message = root.find("message");
+        message != nullptr && message->is_string()) {
+      error.message = message->as_string();
+    }
+    if (const json::Value* context = root.find("context");
+        context != nullptr && context->is_array()) {
+      for (const json::Value& frame : context->items()) {
+        if (frame.is_string()) error.context.push_back(frame.as_string());
+      }
+    }
+    return error;
+  }
+  return std::move(document).value();
+}
+
+Result<std::string> reply_string(const json::Value& reply,
+                                 std::string_view key) {
+  const json::Value* member = reply.find(key);
+  if (member == nullptr || !member->is_string()) {
+    std::string msg = "reply lacks a string '";
+    msg += key;
+    msg += "' member";
+    return Error{ErrorCode::kParse, std::move(msg)}.with_context(
+        "serve reply");
+  }
+  return member->as_string();
+}
+
+Result<std::uint64_t> reply_uint(const json::Value& reply,
+                                 std::string_view key) {
+  const json::Value* member = reply.find(key);
+  const auto n = member ? member->as_uint() : std::nullopt;
+  if (!n) {
+    std::string msg = "reply lacks an integer '";
+    msg += key;
+    msg += "' member";
+    return Error{ErrorCode::kParse, std::move(msg)}.with_context(
+        "serve reply");
+  }
+  return *n;
+}
+
+}  // namespace zolcsim::server

@@ -7,9 +7,13 @@
 //   zolcsim sweep [...]                grid sweep, CSV/JSON to stdout/file
 //   zolcsim bench [...]                run scenario suites, emit BENCH_*.json
 //   zolcsim store stat|gc [...]        inspect / clean an on-disk unit store
+//   zolcsim serve [...]                long-running daemon on a Unix socket
+//   zolcsim client <action> [...]      talk to a serve daemon
 //
 // Run `zolcsim help` (or any subcommand with bad flags) for the full flag
 // list. Exit codes: 0 success, 1 toolchain error, 2 usage error.
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -19,6 +23,7 @@
 #include <sstream>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "cli.hpp"
@@ -32,6 +37,8 @@
 #include "harness/sweep.hpp"
 #include "kernels/kernels.hpp"
 #include "scenario/runner.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 
 namespace {
 
@@ -88,6 +95,28 @@ commands:
   store stat                inventory a unit store directory
   store gc                  drop stale/corrupt artifacts from a store
       --store-dir=DIR       (required for both store subcommands)
+  serve                     daemon: zolcsim-serve-v1 over a Unix socket,
+                            one warm compile cache shared by every request
+      --socket=PATH         socket path (required)
+      --store-dir=DIR       attach an on-disk unit store
+      --workers=N           connection workers     (default 4)
+      --sweep-threads=N     sweep threads per request (default hardware)
+      --idle-timeout-ms=N   close silent connections (default 30000)
+                            SIGTERM/SIGINT and a client "shutdown" request
+                            both drain gracefully: in-flight requests
+                            finish and their replies flush before exit
+  client <action>           one request against a serve daemon
+      --socket=PATH         socket path (required)
+      actions: ping | stats | store-stat | shutdown
+        compile <kernel>    --machine=NAME --geometry=LABEL
+        run <kernel>        ... plus --config=NAME --mode=NAME
+                            --max-cycles=N --tenants=N --preempt-every=N
+                            --preempt-serialize --no-predecode
+        sweep               --from-file=SUITE --format=csv|json --out=FILE
+                            --expect-zero-compiles --expect-zero-prepares
+                            (output is byte-identical to local
+                            `zolcsim sweep --from-file`)
+        bench-suite         --from-file=SUITE --out-dir=DIR
 exit codes: 0 ok, 1 toolchain error / comparison failure, 2 usage error
 )";
 
@@ -858,6 +887,306 @@ int cmd_store(const cli::Args& args) {
   return 0;
 }
 
+// --------------------------------------------------------------- serve ----
+
+/// SIGTERM/SIGINT both request a graceful drain; the serve loop polls this
+/// flag (a handler cannot touch the server's mutexes directly).
+volatile std::sig_atomic_t g_serve_terminate = 0;
+
+void on_serve_terminate(int) { g_serve_terminate = 1; }
+
+int cmd_serve(const cli::Args& args) {
+  if (const int rc = reject_unknown_flags(
+          args,
+          {"socket", "store-dir", "workers", "sweep-threads",
+           "idle-timeout-ms"},
+          {})) {
+    return rc;
+  }
+  if (!args.positional.empty()) {
+    return usage_error("serve takes no positional arguments");
+  }
+  int rc = 0;
+  server::ServeOptions options;
+  const auto socket = nonempty_value(args, "socket", rc);
+  if (rc != 0) return rc;
+  if (!socket) return usage_error("serve requires --socket=PATH");
+  options.socket_path = *socket;
+  if (const auto dir = nonempty_value(args, "store-dir", rc)) {
+    options.store_dir = *dir;
+  }
+  if (const auto workers = positive_int_flag(args, "workers", rc, 256)) {
+    options.workers = static_cast<unsigned>(*workers);
+  }
+  if (const auto threads =
+          positive_int_flag(args, "sweep-threads", rc, 4096)) {
+    options.sweep_threads = static_cast<unsigned>(*threads);
+  }
+  if (const auto idle =
+          positive_int_flag(args, "idle-timeout-ms", rc, 3'600'000)) {
+    options.idle_timeout_ms = static_cast<unsigned>(*idle);
+  }
+  if (rc != 0) return rc;
+
+  server::Server daemon(std::move(options));
+  if (auto started = daemon.start(); !started.ok()) {
+    return toolchain_error(started.error());
+  }
+  std::signal(SIGTERM, on_serve_terminate);
+  std::signal(SIGINT, on_serve_terminate);
+  std::fprintf(stderr, "serving %s on %s (%u workers%s%s)\n",
+               std::string(server::kServeSchema).c_str(),
+               daemon.options().socket_path.c_str(),
+               daemon.options().workers,
+               daemon.options().store_dir.empty() ? "" : ", store ",
+               daemon.options().store_dir.c_str());
+
+  // Runs until a client "shutdown" request drains the daemon or a signal
+  // asks us to. Either way in-flight requests finish first.
+  while (!daemon.draining()) {
+    if (g_serve_terminate != 0) {
+      daemon.begin_drain();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  daemon.wait();
+  const server::ServerStats stats = daemon.stats();
+  std::fprintf(stderr,
+               "drained: %llu request(s), %llu connection(s), "
+               "%llu error repl%s\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.errors),
+               stats.errors == 1 ? "y" : "ies");
+  return 0;
+}
+
+// -------------------------------------------------------------- client ----
+
+Result<std::string> read_text_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Error{ErrorCode::kIo, "cannot read '" + path + "'"};
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+/// Builds the compile / run request JSON from the client flags. The axis
+/// values travel as strings and are validated daemon-side with the same
+/// parsers the local verbs use. Returns 0 and fills `payload`, or an exit
+/// code.
+int build_client_unit_request(const cli::Args& args, const char* type,
+                              std::string& payload) {
+  if (args.positional.size() != 2) {
+    return usage_error(std::string("client ") + type +
+                       " takes exactly one kernel name");
+  }
+  const bool run = std::string(type) == "run";
+  std::string out = "{\"schema\": \"";
+  out += server::kServeSchema;
+  out += "\", \"type\": \"";
+  out += type;
+  out += "\", \"kernel\": \"";
+  out += json::escape(args.positional[1]);
+  out += "\"";
+  int rc = 0;
+  for (const char* flag : {"machine", "geometry"}) {
+    if (const auto value = nonempty_value(args, flag, rc)) {
+      out += std::string(", \"") + flag + "\": \"" + json::escape(*value) +
+             "\"";
+    }
+    if (rc != 0) return rc;
+  }
+  if (run) {
+    for (const char* flag : {"config", "mode"}) {
+      if (const auto value = nonempty_value(args, flag, rc)) {
+        out += std::string(", \"") + flag + "\": \"" + json::escape(*value) +
+               "\"";
+      }
+      if (rc != 0) return rc;
+    }
+    if (const auto cycles = positive_int_flag(args, "max-cycles", rc)) {
+      out += ", \"max_cycles\": " + std::to_string(*cycles);
+    }
+    if (const auto tenants = positive_int_flag(args, "tenants", rc, 64)) {
+      out += ", \"tenants\": " + std::to_string(*tenants);
+    }
+    if (const auto every = positive_int_flag(args, "preempt-every", rc)) {
+      out += ", \"preempt_every\": " + std::to_string(*every);
+    }
+    if (rc != 0) return rc;
+    if (args.has("preempt-serialize")) {
+      out += ", \"preempt_serialize\": true";
+    }
+    if (args.has("no-predecode")) out += ", \"predecode\": false";
+  }
+  out += "}";
+  payload = std::move(out);
+  return 0;
+}
+
+/// Digs `object.member` out of a reply ("cache.compiles"); nullopt when the
+/// reply lacks it.
+std::optional<std::uint64_t> nested_reply_uint(const json::Value& reply,
+                                               std::string_view object,
+                                               std::string_view member) {
+  const json::Value* group = reply.find(object);
+  if (group == nullptr || !group->is_object()) return std::nullopt;
+  const json::Value* value = group->find(member);
+  if (value == nullptr) return std::nullopt;
+  return value->as_uint();
+}
+
+/// The sweep action: prints/writes the rendered report carried by the
+/// reply (byte-identical to the local `sweep --from-file` rendering) and
+/// enforces the --expect-zero-* warm-serving assertions.
+int client_sweep_reply(const cli::Args& args, const json::Value& reply) {
+  auto output = server::reply_string(reply, "output");
+  if (!output.ok()) return toolchain_error(output.error());
+  int rc = 0;
+  const auto out_path = nonempty_value(args, "out", rc);
+  if (rc != 0) return rc;
+  if (out_path) {
+    std::ofstream file(*out_path, std::ios::binary);
+    file << output.value();
+    file.flush();
+    if (!file.good()) {
+      return toolchain_error(
+          Error{ErrorCode::kIo, "cannot write '" + *out_path + "'"});
+    }
+  } else {
+    std::fputs(output.value().c_str(), stdout);
+  }
+  const auto compiles = nested_reply_uint(reply, "cache", "compiles");
+  const auto prepares = nested_reply_uint(reply, "prepares", "full");
+  if (args.has("expect-zero-compiles") && compiles.value_or(1) != 0) {
+    return toolchain_error(Error{
+        ErrorCode::kVerifyMismatch,
+        std::to_string(compiles.value_or(0)) +
+            " unit(s) compiled despite --expect-zero-compiles (the "
+            "daemon's warm cache should have served them)"});
+  }
+  if (args.has("expect-zero-prepares") && prepares.value_or(1) != 0) {
+    return toolchain_error(Error{
+        ErrorCode::kVerifyMismatch,
+        std::to_string(prepares.value_or(0)) +
+            " full table prepare(s) despite --expect-zero-prepares (the "
+            "daemon's prepared images should have been reused)"});
+  }
+  return 0;
+}
+
+/// The bench-suite action: writes the BENCH_<suite>.json artifact carried
+/// by the reply into --out-dir.
+int client_bench_reply(const cli::Args& args, const json::Value& reply) {
+  auto name = server::reply_string(reply, "artifact_name");
+  if (!name.ok()) return toolchain_error(name.error());
+  auto artifact = server::reply_string(reply, "artifact");
+  if (!artifact.ok()) return toolchain_error(artifact.error());
+  int rc = 0;
+  std::string out_dir = ".";
+  if (const auto dir = nonempty_value(args, "out-dir", rc)) out_dir = *dir;
+  if (rc != 0) return rc;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return toolchain_error(Error{ErrorCode::kIo,
+                                 "cannot create artifact directory '" +
+                                     out_dir + "': " + ec.message()});
+  }
+  const std::string path = out_dir + "/" + name.value();
+  std::ofstream file(path, std::ios::binary);
+  file << artifact.value();
+  file.flush();
+  if (!file.good()) {
+    return toolchain_error(
+        Error{ErrorCode::kIo, "cannot write '" + path + "'"});
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_client(const cli::Args& args) {
+  if (args.positional.empty()) {
+    return usage_error(
+        "client requires an action (ping, compile, run, sweep, "
+        "bench-suite, store-stat, stats, shutdown)");
+  }
+  const std::string& action = args.positional.front();
+  if (const int rc = reject_unknown_flags(
+          args,
+          {"socket", "machine", "geometry", "config", "mode", "max-cycles",
+           "tenants", "preempt-every", "from-file", "format", "out",
+           "out-dir"},
+          {"preempt-serialize", "no-predecode", "expect-zero-compiles",
+           "expect-zero-prepares"})) {
+    return rc;
+  }
+  int rc = 0;
+  const auto socket = nonempty_value(args, "socket", rc);
+  if (rc != 0) return rc;
+  if (!socket) return usage_error("client requires --socket=PATH");
+
+  std::string payload;
+  if (action == "ping") {
+    payload = server::simple_request(server::RequestType::kPing);
+  } else if (action == "stats") {
+    payload = server::simple_request(server::RequestType::kStats);
+  } else if (action == "store-stat") {
+    payload = server::simple_request(server::RequestType::kStoreStat);
+  } else if (action == "shutdown") {
+    payload = server::simple_request(server::RequestType::kShutdown);
+  } else if (action == "compile" || action == "run") {
+    if (const int unit_rc =
+            build_client_unit_request(args, action.c_str(), payload)) {
+      return unit_rc;
+    }
+  } else if (action == "sweep" || action == "bench-suite") {
+    const auto suite_path = nonempty_value(args, "from-file", rc);
+    if (rc != 0) return rc;
+    if (!suite_path) {
+      return usage_error("client " + action + " requires --from-file=SUITE");
+    }
+    auto text = read_text_file(*suite_path);
+    if (!text.ok()) return toolchain_error(text.error());
+    if (action == "sweep") {
+      bool json_format = false;
+      if (const auto format = nonempty_value(args, "format", rc)) {
+        if (*format != "csv" && *format != "json") {
+          return usage_error("bad --format value '" + *format +
+                             "' (csv or json)");
+        }
+        json_format = *format == "json";
+      }
+      if (rc != 0) return rc;
+      auto request = server::sweep_request(text.value(), json_format);
+      if (!request.ok()) return toolchain_error(request.error());
+      payload = std::move(request).value();
+    } else {
+      auto request = server::bench_suite_request(text.value());
+      if (!request.ok()) return toolchain_error(request.error());
+      payload = std::move(request).value();
+    }
+  } else {
+    return usage_error("unknown client action '" + action + "'");
+  }
+
+  auto client = server::Client::connect(*socket);
+  if (!client.ok()) return toolchain_error(client.error());
+  auto raw = client.value().call_raw(payload);
+  if (!raw.ok()) return toolchain_error(raw.error());
+  auto reply = server::parse_reply(raw.value());
+  if (!reply.ok()) return toolchain_error(reply.error());
+
+  if (action == "sweep") return client_sweep_reply(args, reply.value());
+  if (action == "bench-suite") return client_bench_reply(args, reply.value());
+  std::printf("%s\n", raw.value().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -870,6 +1199,8 @@ int main(int argc, char** argv) {
   if (command == "sweep") return cmd_sweep(args);
   if (command == "bench") return cmd_bench(args);
   if (command == "store") return cmd_store(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "client") return cmd_client(args);
   if (command == "help" || command == "--help" || command == "-h") {
     std::fputs(kUsage, stdout);
     return 0;
